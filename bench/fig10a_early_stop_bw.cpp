@@ -1,0 +1,79 @@
+// Figure 10(a): tuning HACC with TunIO's RL early stopper vs the 5%/5-
+// iteration heuristic.
+//
+// "TunIO's early stopper terminates tuning at the 35th of 50 generations
+// ... achieving 2.2 GB/s bandwidth (~4x improvement from the non-tuned
+// application bandwidth of 0.55 GB/s). ... TunIO's Early Stopping
+// component intelligently avoids getting caught in the plateau around
+// the 10th to 20th iterations. In contrast, the traditional
+// heuristic-based early stopper ... decided to stop [at iteration 14],
+// achieving only 1.2 GB/s bandwidth ... a mere 2x performance
+// improvement."
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace tunio;
+
+int main() {
+  bench::banner("Figure 10(a)", "early stopping on HACC: RL vs heuristic",
+                "RL stop at iter 35/50 with ~4x gain; heuristic trapped by "
+                "the iteration 10-20 plateau, stopping at 14 with only 2x");
+
+  const cfg::ConfigSpace space = cfg::ConfigSpace::tunio12();
+  auto tunio = bench::trained_tunio(space);
+  // The paper's GA needed ~35 of 50 iterations on its stack; our
+  // simulated surface is easier, so the pipeline uses a conservative GA
+  // (small population, low mutation) whose curve has the same shape:
+  // a mid-run plateau followed by late gains.
+  tuner::GaOptions ga = bench::paper_ga(55);
+  ga.population = 6;
+  ga.mutation_prob = 0.03;
+  ga.init_mutation_prob = 0.02;
+  ga.tournament_size = 2;
+  ga.crossover_prob = 0.7;
+
+  bench::section("reference: tuning the full 50-generation budget");
+  auto ref_objective = bench::hacc_objective(true, 101);
+  const auto reference = core::run_pipeline(
+      space, *ref_objective, nullptr,
+      {"full budget", false, core::StopPolicy::kNone}, ga);
+  bench::print_curve("full budget", reference.result, 5);
+
+  bench::section("TunIO RL early stopping");
+  auto tunio_objective = bench::hacc_objective(true, 101);
+  const auto rl_run = core::run_pipeline(
+      space, *tunio_objective, tunio.get(),
+      {"TunIO stop", false, core::StopPolicy::kTunio}, ga);
+  bench::print_curve("TunIO stop", rl_run.result, 5);
+
+  bench::section("heuristic early stopping (5% / 5 iterations)");
+  auto heuristic_objective = bench::hacc_objective(true, 101);
+  const auto heuristic_run = core::run_pipeline(
+      space, *heuristic_objective, nullptr,
+      {"heuristic stop", false, core::StopPolicy::kHeuristic}, ga);
+  bench::print_curve("heuristic stop", heuristic_run.result, 5);
+
+  const double untuned = reference.result.initial_perf;
+  const double missed =
+      reference.result.best_perf - rl_run.result.best_perf;
+
+  bench::section("summary vs paper");
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "iter %u of 50, %s (%.1fx untuned)",
+                rl_run.result.generations_run,
+                bench::fmt_bw(rl_run.result.best_perf).c_str(),
+                rl_run.result.best_perf / untuned);
+  bench::summary("TunIO stop", buf, "iter 35, 2.2 GB/s (~4x)");
+  std::snprintf(buf, sizeof buf, "iter %u, %s (%.1fx untuned)",
+                heuristic_run.result.generations_run,
+                bench::fmt_bw(heuristic_run.result.best_perf).c_str(),
+                heuristic_run.result.best_perf / untuned);
+  bench::summary("heuristic stop", buf, "iter 14, 1.2 GB/s (2x)");
+  std::snprintf(buf, sizeof buf, "%s (%.2fx of the 4x-range gain)",
+                bench::fmt_bw(missed).c_str(),
+                missed / std::max(1e-9, untuned));
+  bench::summary("bandwidth left on the table by stopping", buf,
+                 "0.08 GB/s (0.14x)");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// analysis_pipeline: tuning a read-dominated analysis job (BD-CATS).
+//
+// Most tuning folklore optimizes writes; analysis pipelines spend their
+// I/O time *reading*. TunIO's objective handles this through α:
+// perf ≡ (1−α)·BW_r + α·BW_w weights whichever direction dominates the
+// byte traffic, so tuning a clustering job optimizes read bandwidth
+// without any special-casing. This example tunes BD-CATS and shows where
+// the gains came from.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "trace/report.hpp"
+#include "core/roti.hpp"
+#include "tuner/objective.hpp"
+#include "workloads/workload.hpp"
+
+using namespace tunio;
+
+int main() {
+  const cfg::ConfigSpace space = cfg::ConfigSpace::tunio12();
+
+  wl::BdcatsParams params;
+  params.particles_per_rank = 1 << 22;
+  params.clustering_rounds = 4;
+  tuner::TestbedOptions testbed;
+  testbed.num_ranks = 128;
+  auto objective = tuner::make_workload_objective(
+      std::shared_ptr<const wl::Workload>(wl::make_bdcats(params)), testbed);
+
+  // Untuned run: show the α split.
+  const auto before = objective->evaluate(space.default_configuration());
+  std::printf("untuned: perf=%.0f MB/s  BW_r=%.0f  BW_w=%.0f  alpha=%.3f "
+              "(read-dominated)\n",
+              before.perf_mbps, before.detail.bw_read_mbps,
+              before.detail.bw_write_mbps, before.detail.alpha);
+
+  tuner::GaOptions ga;
+  ga.max_generations = 25;
+  const auto run = core::run_pipeline(
+      space, *objective, nullptr,
+      {"read tuning", false, core::StopPolicy::kHeuristic}, ga);
+
+  const auto after = objective->evaluate(*run.result.best_config);
+  std::printf("tuned:   perf=%.0f MB/s  BW_r=%.0f  BW_w=%.0f  alpha=%.3f\n",
+              after.perf_mbps, after.detail.bw_read_mbps,
+              after.detail.bw_write_mbps, after.detail.alpha);
+  std::printf("\nread bandwidth improved %.1fx in %u iterations "
+              "(%.0f tuning minutes, RoTI %.1f MB/s/min)\n",
+              after.detail.bw_read_mbps /
+                  std::max(1.0, before.detail.bw_read_mbps),
+              run.result.generations_run, run.result.total_seconds / 60.0,
+              core::final_roti(run.result));
+
+  // Darshan-style summary of the tuned run.
+  std::printf("\n%s", trace::report(after.detail).c_str());
+
+  // What moved: print the non-default parameters of the winner.
+  std::printf("\nconfiguration changes:\n");
+  const cfg::Configuration defaults = space.default_configuration();
+  for (std::size_t p = 0; p < space.num_parameters(); ++p) {
+    if (run.result.best_config->index(p) != defaults.index(p)) {
+      std::printf("  %-22s %12llu -> %llu\n",
+                  space.parameter(p).name.c_str(),
+                  static_cast<unsigned long long>(defaults.value(p)),
+                  static_cast<unsigned long long>(
+                      run.result.best_config->value(p)));
+    }
+  }
+  return 0;
+}

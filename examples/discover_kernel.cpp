@@ -1,0 +1,111 @@
+// discover_kernel: the Application I/O Discovery CLI (§III-E Use Case).
+//
+// "TunIO ... provides a CLI tool for the Application I/O Discovery
+// component. This tool converts the source code to its equivalent I/O
+// kernel, which the user can compile using their preferred method and
+// use as a substitute for the application during the configuration
+// evaluation phase."
+//
+// Usage:
+//   discover_kernel [--reduce <fraction>] [--switch-paths] [--run] [FILE]
+//
+// FILE is a mini-C source file; without it, the built-in MACSio-VPIC
+// source is used. `--reduce 0.01` applies 1% Loop Reduction,
+// `--switch-paths` applies I/O Path Switching, and `--run` executes both
+// the original and the kernel on the simulated stack and compares them.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "config/stack_settings.hpp"
+#include "discovery/discovery.hpp"
+#include "interp/interp.hpp"
+#include "minic/parser.hpp"
+#include "workloads/sources.hpp"
+
+using namespace tunio;
+
+namespace {
+
+void compare_runs(const std::string& label, const minic::Program& program,
+                  double extrapolate_note) {
+  (void)extrapolate_note;
+  mpisim::MpiSim mpi(128);
+  pfs::PfsSimulator fs;
+  const auto result =
+      interp::execute(program, mpi, fs, cfg::default_settings(), {});
+  std::printf("  %-10s perf=%8.1f MB/s  elapsed=%8.1fs  writes=%8llu  "
+              "bytes=%.3f GiB  (extrapolated bytes %.3f GiB)\n",
+              label.c_str(), result.perf.perf_mbps, result.sim_seconds,
+              static_cast<unsigned long long>(result.perf.counters.write_ops),
+              result.perf.counters.bytes_written / double(1ull << 30),
+              result.predicted_bytes_written / double(1ull << 30));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  discovery::DiscoveryOptions options;
+  bool run_comparison = false;
+  std::string file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reduce" && i + 1 < argc) {
+      options.loop_reduction = std::atof(argv[++i]);
+    } else if (arg == "--switch-paths") {
+      options.path_switching = true;
+    } else if (arg == "--run") {
+      run_comparison = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: discover_kernel [--reduce <fraction>] "
+                  "[--switch-paths] [--run] [FILE]\n");
+      return 0;
+    } else {
+      file = arg;
+    }
+  }
+
+  std::string source;
+  if (file.empty()) {
+    std::printf("// no input file: using the built-in MACSio-VPIC source\n");
+    source = wl::sources::macsio_vpic();
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  try {
+    const auto kernel = discovery::discover_io(source, options);
+    std::printf("// I/O kernel: kept %d of %d statements",
+                kernel.kept_statements, kernel.total_statements);
+    if (kernel.loop_reduction_divisor > 1) {
+      std::printf(", loop reduction 1/%d", kernel.loop_reduction_divisor);
+    }
+    std::printf("\n\n%s", kernel.kernel_source.c_str());
+
+    if (run_comparison) {
+      std::printf("\n// executing both on the simulated stack "
+                  "(default configuration):\n");
+      compare_runs("original", minic::parse(source), 1.0);
+      compare_runs("kernel", kernel.kernel, 1.0);
+    }
+  } catch (const tunio::SourceError& e) {
+    // "If the I/O kernel of the application causes an error, TunIO will
+    // revert to using the full application."
+    std::fprintf(stderr, "discovery failed (%s): falling back to the full "
+                 "application\n", e.what());
+    std::printf("%s", source.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// interactive_session: refine a configuration across installments.
+//
+// The paper's §VI sketches "an interactive session feature where a
+// configuration can be refined over time across a series of runs" —
+// implemented here as core::InteractiveSession. A user tunes for a few
+// generations when the machine is idle, takes the current best
+// configuration into production, and resumes later; each installment
+// seeds the genetic search with the best configuration so far and the
+// RL agents keep learning across installments.
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "tuner/objective.hpp"
+#include "workloads/workload.hpp"
+
+using namespace tunio;
+
+int main() {
+  const cfg::ConfigSpace space = cfg::ConfigSpace::tunio12();
+  core::TunIO tunio(space);
+
+  // The application being refined: MACSio-style dumps.
+  tuner::TestbedOptions testbed;
+  testbed.num_ranks = 128;
+  wl::RunOptions kernel_opts;
+  kernel_opts.compute_scale = 0.0;
+  auto objective = tuner::make_workload_objective(
+      std::shared_ptr<const wl::Workload>(wl::make_macsio()), testbed,
+      kernel_opts);
+
+  tuner::GaOptions ga;
+  ga.population = 12;
+  core::InteractiveSession session(tunio, *objective, ga);
+
+  // Three installments of 6 generations, as if spread over three idle
+  // windows in a job queue.
+  for (int installment = 1; installment <= 3; ++installment) {
+    const auto result = session.step(6);
+    std::printf("installment %d: ran %u generations (%.0f simulated min), "
+                "session best now %.0f MB/s\n",
+                installment, result.generations_run,
+                result.total_seconds / 60.0, session.best_perf());
+  }
+
+  std::printf("\nacross %u generations in %u installments "
+              "(%.0f tuning minutes total):\n",
+              session.total_generations(), session.steps_taken(),
+              session.total_seconds() / 60.0);
+  std::printf("  initial perf: %.0f MB/s\n", session.initial_perf());
+  std::printf("  best perf:    %.0f MB/s (%.1fx)\n", session.best_perf(),
+              session.best_perf() / session.initial_perf());
+  std::printf("\ncurrent best configuration:\n%s",
+              session.export_xml().c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace tunio {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "TUNIO_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace tunio

@@ -1,0 +1,49 @@
+// Error handling for the TunIO library.
+//
+// The simulator treats programming errors (bad arguments, violated
+// invariants) as exceptions carrying a formatted message. `TUNIO_CHECK`
+// is the assertion macro used throughout; it stays active in release
+// builds because the simulator's correctness is the product.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tunio {
+
+/// Base exception for all TunIO errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument or configuration value is invalid.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when mini-C source fails to lex/parse or the interpreter traps.
+class SourceError : public Error {
+ public:
+  explicit SourceError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+}  // namespace tunio
+
+#define TUNIO_CHECK(expr)                                        \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::tunio::check_failed(__FILE__, __LINE__, #expr, "");      \
+    }                                                            \
+  } while (false)
+
+#define TUNIO_CHECK_MSG(expr, msg)                               \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::tunio::check_failed(__FILE__, __LINE__, #expr, (msg));   \
+    }                                                            \
+  } while (false)

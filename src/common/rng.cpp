@@ -1,0 +1,5 @@
+#include "common/rng.hpp"
+
+// Header-only today; the translation unit anchors the library and keeps a
+// stable place for future out-of-line additions.
+namespace tunio {}

@@ -1,0 +1,69 @@
+// Seeded random number generation.
+//
+// Every stochastic component (genetic operators, RL exploration, noise in
+// the device models) draws from an explicitly seeded `Rng` so that whole
+// experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tunio {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x7'1010) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    TUNIO_CHECK_MSG(lo <= hi, "empty integer range");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    TUNIO_CHECK_MSG(n > 0, "index() over empty range");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Normal draw.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& items) {
+    TUNIO_CHECK_MSG(!items.empty(), "choice() over empty vector");
+    return items[index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (stable given draw order).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tunio

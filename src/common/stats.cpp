@@ -1,0 +1,90 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tunio {
+
+double mean(const std::vector<double>& xs) {
+  TUNIO_CHECK_MSG(!xs.empty(), "mean of empty series");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_of(const std::vector<double>& xs) {
+  TUNIO_CHECK_MSG(!xs.empty(), "min of empty series");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  TUNIO_CHECK_MSG(!xs.empty(), "max of empty series");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  TUNIO_CHECK_MSG(!xs.empty(), "percentile of empty series");
+  TUNIO_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  TUNIO_CHECK_MSG(n >= 2, "linspace needs at least 2 samples");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;
+  return out;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  TUNIO_CHECK_MSG(xs.size() == ys.size(), "pearson over mismatched series");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ema(const std::vector<double>& xs, double alpha) {
+  TUNIO_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "ema alpha out of (0,1]");
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double acc = 0.0;
+  bool first = true;
+  for (double x : xs) {
+    acc = first ? x : alpha * x + (1.0 - alpha) * acc;
+    first = false;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace tunio

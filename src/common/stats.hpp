@@ -1,0 +1,28 @@
+// Small statistics helpers shared by the tuner, the RL components, and
+// the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tunio {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  ///< population variance
+double stddev(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Linear interpolation percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// `n` evenly spaced samples from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Pearson correlation of two equal-length series (0 if degenerate).
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Exponential moving average over a series with smoothing factor alpha.
+std::vector<double> ema(const std::vector<double>& xs, double alpha);
+
+}  // namespace tunio

@@ -1,0 +1,46 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace tunio {
+
+double to_mbps(Bps bytes_per_second) { return bytes_per_second / MB; }
+
+double to_minutes(SimSeconds seconds) { return seconds / 60.0; }
+
+std::string format_bytes(Bytes bytes) {
+  std::array<char, 64> buf{};
+  if (bytes >= GiB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(GiB));
+  } else if (bytes >= MiB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(MiB));
+  } else if (bytes >= KiB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(KiB));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf.data();
+}
+
+std::string format_bandwidth(Bps bytes_per_second) {
+  std::array<char, 64> buf{};
+  if (bytes_per_second >= GB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f GB/s", bytes_per_second / GB);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f MB/s", bytes_per_second / MB);
+  }
+  return buf.data();
+}
+
+std::string format_minutes(SimSeconds seconds) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.1f min", to_minutes(seconds));
+  return buf.data();
+}
+
+}  // namespace tunio

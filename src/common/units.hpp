@@ -1,0 +1,43 @@
+// Byte-size, time, and bandwidth units used across the TunIO simulator.
+//
+// All simulated time is kept in seconds (double), all sizes in bytes
+// (std::uint64_t), and all bandwidths in bytes/second (double). Helpers
+// here make literals readable (`64 * MiB`) and reports human-friendly
+// ("2.30 GB/s").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tunio {
+
+using Bytes = std::uint64_t;
+/// Simulated wall-clock time in seconds.
+using SimSeconds = double;
+/// Bandwidth in bytes per second.
+using Bps = double;
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+/// Decimal megabytes/second, the unit the paper reports `perf` in.
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+/// Converts bytes/second to decimal MB/s (the paper's bandwidth unit).
+double to_mbps(Bps bytes_per_second);
+
+/// Converts simulated seconds to minutes (the paper's tuning-cost unit).
+double to_minutes(SimSeconds seconds);
+
+/// Formats a byte count as a human-readable string ("4.0 MiB").
+std::string format_bytes(Bytes bytes);
+
+/// Formats a bandwidth as a human-readable string ("2.30 GB/s").
+std::string format_bandwidth(Bps bytes_per_second);
+
+/// Formats simulated seconds as "H:MM:SS" style or "123.4 min".
+std::string format_minutes(SimSeconds seconds);
+
+}  // namespace tunio

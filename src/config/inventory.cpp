@@ -1,0 +1,40 @@
+#include "config/inventory.hpp"
+
+#include <cmath>
+
+namespace tunio::cfg {
+
+double LibraryInventory::log10_permutations() const {
+  return binary_params * std::log10(2.0) + ternary_params * std::log10(3.0) +
+         continuous_params * std::log10(5.0);
+}
+
+double LibraryInventory::permutations() const {
+  return std::pow(10.0, log10_permutations());
+}
+
+std::vector<LibraryInventory> figure1_inventories() {
+  // Parameter counts follow the public reference manuals the paper cites
+  // ([5] HDF5, [6] MPI, [34] PNetCDF, [35] ADIOS, [36] OpenSHMEM-X,
+  // [12] Hermes); these are lower bounds, as in the paper. HDF5 + MPI
+  // multiply out to ~4 × 10²¹, matching the paper's 3.81 × 10²¹ order.
+  return {
+      {"HDF5", 17, 1, 6},        // property lists: ~24 user-level knobs
+      {"PNetCDF", 10, 0, 4},
+      {"MPI (incl. MPI-IO)", 30, 0, 4},
+      {"ADIOS", 22, 0, 6},
+      {"OpenSHMEM-X", 12, 0, 2},
+      {"Hermes", 14, 0, 5},
+      {"Lustre (user-settable)", 4, 0, 2},
+  };
+}
+
+double stack_permutations(const std::vector<LibraryInventory>& stack) {
+  double log10_total = 0.0;
+  for (const LibraryInventory& lib : stack) {
+    log10_total += lib.log10_permutations();
+  }
+  return std::pow(10.0, log10_total);
+}
+
+}  // namespace tunio::cfg

@@ -1,0 +1,36 @@
+// Library parameter inventories for Figure 1.
+//
+// Figure 1 of the paper counts user-level parameter permutations of
+// several HPC I/O libraries, "utilizing a lower bound of two values for
+// discrete parameters and five for continuous parameters". This module
+// records those inventories and computes the permutation counts the
+// figure reports (e.g. HDF5 + MPI ≈ 10²¹ permutations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tunio::cfg {
+
+struct LibraryInventory {
+  std::string name;
+  unsigned binary_params = 0;      ///< discrete, lower-bounded at 2 values
+  unsigned ternary_params = 0;     ///< discrete with 3 documented values
+  unsigned continuous_params = 0;  ///< lower-bounded at 5 values
+
+  unsigned total_params() const {
+    return binary_params + ternary_params + continuous_params;
+  }
+  /// log10 of the parameter-value permutation count.
+  double log10_permutations() const;
+  double permutations() const;
+};
+
+/// The libraries of Figure 1: HDF5, PNetCDF, MPI, ADIOS, OpenSHMEM-X,
+/// Hermes (plus the Lustre user-settable knobs used in §IV).
+std::vector<LibraryInventory> figure1_inventories();
+
+/// Permutations of a composed stack (product over members).
+double stack_permutations(const std::vector<LibraryInventory>& stack);
+
+}  // namespace tunio::cfg

@@ -1,0 +1,29 @@
+// Translating a `Configuration` into concrete settings for each layer of
+// the simulated stack — the moral equivalent of H5Tuner's dynamic
+// property-override mechanism, which injects parameter values into an
+// unmodified HDF5 application at run time.
+#pragma once
+
+#include "config/space.hpp"
+#include "hdf5lite/properties.hpp"
+#include "mpiio/mpiio.hpp"
+#include "pfs/pfs.hpp"
+
+namespace tunio::cfg {
+
+/// Fully resolved per-layer settings derived from one configuration.
+struct StackSettings {
+  pfs::CreateOptions lustre;      ///< striping_factor / striping_unit
+  mpiio::Hints mpiio;             ///< cb_nodes / cb_buffer_size / collective
+  h5::FileAccessProps fapl;       ///< alignment, sieve, metadata knobs
+  h5::ChunkCacheProps chunk_cache;
+};
+
+/// Expands `config` (which must come from `ConfigSpace::tunio12()` or a
+/// space with the same parameter names) into per-layer settings.
+StackSettings resolve(const Configuration& config);
+
+/// The stack defaults (what an untuned application gets).
+StackSettings default_settings();
+
+}  // namespace tunio::cfg

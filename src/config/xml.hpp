@@ -1,0 +1,34 @@
+// H5Tuner-style XML serialization of configurations.
+//
+// The reference TunIO implementation builds on H5Tuner, which overrides
+// HDF5 application parameters via an XML file grouped by I/O-stack layer:
+//
+//   <Parameters>
+//     <High_Level_IO_Library>
+//       <sieve_buf_size>262144</sieve_buf_size>
+//       ...
+//     </High_Level_IO_Library>
+//     <Middleware_Layer>...</Middleware_Layer>
+//     <Parallel_File_System>...</Parallel_File_System>
+//   </Parameters>
+//
+// This module writes and parses that format with a deliberately small,
+// dependency-free scanner (tags + integer text nodes only).
+#pragma once
+
+#include <string>
+
+#include "config/space.hpp"
+
+namespace tunio::cfg {
+
+/// Renders `config` as H5Tuner-style XML.
+std::string to_xml(const Configuration& config);
+
+/// Parses H5Tuner-style XML produced by `to_xml` (or hand-written in the
+/// same shape) into a configuration over `space`. Unknown parameter tags
+/// throw; missing parameters keep their defaults. Values must be members
+/// of the parameter's domain.
+Configuration from_xml(const ConfigSpace& space, const std::string& xml);
+
+}  // namespace tunio::cfg

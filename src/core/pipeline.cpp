@@ -1,0 +1,60 @@
+#include "core/pipeline.hpp"
+
+#include "common/error.hpp"
+
+namespace tunio::core {
+
+PipelineRun run_pipeline(const cfg::ConfigSpace& space,
+                         tuner::Objective& objective, TunIO* tunio,
+                         const PipelineVariant& variant,
+                         tuner::GaOptions ga) {
+  tuner::GeneticTuner tuner(space, objective, ga);
+
+  const bool needs_tunio =
+      variant.impact_first || variant.stop == StopPolicy::kTunio;
+  TUNIO_CHECK_MSG(!needs_tunio || tunio != nullptr,
+                  "variant '" + variant.label + "' needs a TunIO instance");
+
+  if (variant.impact_first) {
+    tunio->smart_config().reset_episode();
+    tuner.set_subset_provider(
+        [tunio, &space](unsigned generation,
+                        const tuner::TuningResult& progress) {
+          if (generation == 0 || progress.history.empty()) {
+            std::vector<std::size_t> all(space.num_parameters());
+            for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+            return all;
+          }
+          const tuner::GenerationStats& last = progress.history.back();
+          return tunio->smart_config().subset_picker(last.best_perf,
+                                                     last.subset);
+        });
+  }
+
+  switch (variant.stop) {
+    case StopPolicy::kNone:
+      tuner.set_stopper(tuner::make_no_stopper());
+      break;
+    case StopPolicy::kHeuristic:
+      tuner.set_stopper(tuner::make_heuristic_stopper());
+      break;
+    case StopPolicy::kMaxPerf:
+      tuner.set_stopper(
+          tuner::make_max_performance_stopper(variant.max_perf_target));
+      break;
+    case StopPolicy::kTunio:
+      tunio->early_stopping().reset_episode();
+      tuner.set_stopper([tunio](unsigned generation,
+                                const tuner::TuningResult& progress) {
+        return tunio->early_stopping().stop(generation, progress.best_perf);
+      });
+      break;
+  }
+
+  PipelineRun run;
+  run.label = variant.label;
+  run.result = tuner.run();
+  return run;
+}
+
+}  // namespace tunio::core

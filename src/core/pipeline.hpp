@@ -1,0 +1,41 @@
+// Labeled tuning-pipeline variants — the configurations compared in the
+// paper's evaluation (HSTuner with/without stopping, with/without the
+// I/O kernel, and full TunIO).
+#pragma once
+
+#include <string>
+
+#include "core/tunio.hpp"
+#include "tuner/genetic_tuner.hpp"
+#include "tuner/stoppers.hpp"
+
+namespace tunio::core {
+
+enum class StopPolicy {
+  kNone,        ///< run the full budget (HSTuner "No Stop")
+  kHeuristic,   ///< 5% / 5-iteration heuristic
+  kTunio,       ///< RL Early Stopping
+  kMaxPerf,     ///< oracle: stop on reaching a known target perf
+};
+
+struct PipelineVariant {
+  std::string label;
+  bool impact_first = false;   ///< attach Smart Configuration Generation
+  StopPolicy stop = StopPolicy::kNone;
+  double max_perf_target = 0.0;  ///< for kMaxPerf
+};
+
+struct PipelineRun {
+  std::string label;
+  tuner::TuningResult result;
+};
+
+/// Runs one labeled pipeline variant. `tunio` is required (and mutated:
+/// its agents learn) for impact-first or kTunio variants; pass nullptr
+/// for pure-baseline runs.
+PipelineRun run_pipeline(const cfg::ConfigSpace& space,
+                         tuner::Objective& objective, TunIO* tunio,
+                         const PipelineVariant& variant,
+                         tuner::GaOptions ga = {});
+
+}  // namespace tunio::core

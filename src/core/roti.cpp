@@ -1,0 +1,36 @@
+#include "core/roti.hpp"
+
+#include "common/units.hpp"
+
+namespace tunio::core {
+
+std::vector<RotiPoint> roti_curve(const tuner::TuningResult& result) {
+  std::vector<RotiPoint> curve;
+  curve.reserve(result.history.size());
+  for (const tuner::GenerationStats& gen : result.history) {
+    RotiPoint point;
+    point.generation = gen.generation;
+    point.minutes = to_minutes(gen.cumulative_seconds);
+    point.best_perf = gen.best_perf;
+    point.roti = point.minutes > 0.0
+                     ? (gen.best_perf - result.initial_perf) / point.minutes
+                     : 0.0;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double final_roti(const tuner::TuningResult& result) {
+  const std::vector<RotiPoint> curve = roti_curve(result);
+  return curve.empty() ? 0.0 : curve.back().roti;
+}
+
+RotiPoint peak_roti(const tuner::TuningResult& result) {
+  RotiPoint best;
+  for (const RotiPoint& point : roti_curve(result)) {
+    if (point.roti > best.roti) best = point;
+  }
+  return best;
+}
+
+}  // namespace tunio::core

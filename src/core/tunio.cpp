@@ -1,0 +1,49 @@
+#include "core/tunio.hpp"
+
+namespace tunio::core {
+
+TunIO::TunIO(const cfg::ConfigSpace& space, TunioOptions options)
+    : space_(space),
+      options_(options),
+      smart_config_(space, options.smart_config),
+      early_stopping_(options.early_stopping) {}
+
+discovery::KernelResult TunIO::discover_io(
+    const std::string& source_code) const {
+  return discovery::discover_io(source_code, options_.discovery);
+}
+
+discovery::KernelResult TunIO::discover_io(
+    const std::string& source_code,
+    const discovery::DiscoveryOptions& options) const {
+  return discovery::discover_io(source_code, options);
+}
+
+void TunIO::train_offline(
+    const std::vector<tuner::Objective*>& sweep_kernels) {
+  smart_config_.train_offline(sweep_kernels);
+  early_stopping_.train_offline();
+}
+
+void TunIO::attach(tuner::GeneticTuner& tuner) {
+  smart_config_.reset_episode();
+  early_stopping_.reset_episode();
+  tuner.set_subset_provider(
+      [this](unsigned generation, const tuner::TuningResult& progress) {
+        // First generation: no feedback yet — tune everything once so the
+        // default/random population is scored on the full space.
+        if (generation == 0 || progress.history.empty()) {
+          std::vector<std::size_t> all(space_.num_parameters());
+          for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+          return all;
+        }
+        const tuner::GenerationStats& last = progress.history.back();
+        return smart_config_.subset_picker(last.best_perf, last.subset);
+      });
+  tuner.set_stopper(
+      [this](unsigned generation, const tuner::TuningResult& progress) {
+        return early_stopping_.stop(generation, progress.best_perf);
+      });
+}
+
+}  // namespace tunio::core

@@ -1,0 +1,100 @@
+#include "hdf5lite/chunk_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tunio::h5 {
+
+ChunkCache::ChunkCache(ChunkCacheProps props, Bytes chunk_bytes)
+    : props_(props), chunk_bytes_(chunk_bytes) {
+  TUNIO_CHECK_MSG(chunk_bytes_ > 0, "chunk size must be positive");
+  const auto by_bytes =
+      static_cast<std::size_t>(props_.rdcc_nbytes / chunk_bytes_);
+  max_resident_ = std::min<std::size_t>(by_bytes, props_.rdcc_nslots);
+}
+
+bool ChunkCache::resident(const ChunkKey& key) const {
+  return entries_.count(key) > 0;
+}
+
+void ChunkCache::insert(const ChunkKey& key, bool dirty,
+                        CacheOutcome& outcome) {
+  while (entries_.size() >= max_resident_ && !entries_.empty()) {
+    const ChunkKey victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    ++stats_.evictions;
+    if (it->second.dirty) {
+      ++stats_.dirty_evictions;
+      outcome.evicted_dirty.push_back(victim);
+    }
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{lru_.begin(), dirty};
+}
+
+CacheOutcome ChunkCache::touch_write(const ChunkKey& key, Bytes covered_bytes,
+                                     bool chunk_was_allocated) {
+  CacheOutcome outcome;
+  if (max_resident_ == 0) {
+    // Chunk does not fit in the cache at all: direct I/O.
+    ++stats_.bypasses;
+    outcome.bypass = true;
+    outcome.needs_preread =
+        chunk_was_allocated && covered_bytes < chunk_bytes_;
+    return outcome;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    outcome.hit = true;
+    it->second.dirty = true;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    return outcome;
+  }
+  ++stats_.misses;
+  outcome.needs_preread = chunk_was_allocated && covered_bytes < chunk_bytes_;
+  insert(key, /*dirty=*/true, outcome);
+  return outcome;
+}
+
+CacheOutcome ChunkCache::touch_read(const ChunkKey& key) {
+  CacheOutcome outcome;
+  if (max_resident_ == 0) {
+    ++stats_.bypasses;
+    outcome.bypass = true;
+    return outcome;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    outcome.hit = true;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    return outcome;
+  }
+  ++stats_.misses;
+  insert(key, /*dirty=*/false, outcome);
+  return outcome;
+}
+
+std::vector<ChunkKey> ChunkCache::flush_dirty() {
+  std::vector<ChunkKey> dirty;
+  for (auto& [key, entry] : entries_) {
+    if (entry.dirty) {
+      dirty.push_back(key);
+      entry.dirty = false;
+    }
+  }
+  std::sort(dirty.begin(), dirty.end(), [](const ChunkKey& a, const ChunkKey& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.chunk < b.chunk;
+  });
+  return dirty;
+}
+
+}  // namespace tunio::h5

@@ -1,0 +1,95 @@
+// LRU chunk cache simulation (HDF5's rdcc).
+//
+// HDF5 stages chunked-dataset raw data in a per-dataset cache of
+// `rdcc_nbytes`; whole chunks are evicted (and written back when dirty)
+// under LRU. The cache turns repeated partial-chunk accesses into a
+// single chunk-sized write at eviction — exactly the behaviour the
+// `chunk_cache` tuning parameter controls. A chunk larger than the cache
+// bypasses it entirely, which is HDF5's real behaviour and the main
+// performance cliff this parameter creates.
+//
+// The cache tracks *which* chunk of *which rank* is resident; the caller
+// translates evictions into simulated I/O.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hdf5lite/properties.hpp"
+
+namespace tunio::h5 {
+
+/// Identity of a cached chunk: owning rank and chunk index.
+struct ChunkKey {
+  unsigned rank = 0;
+  std::uint64_t chunk = 0;
+
+  bool operator==(const ChunkKey&) const = default;
+};
+
+struct ChunkKeyHash {
+  std::size_t operator()(const ChunkKey& k) const {
+    return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.rank) << 40) ^
+                                      k.chunk);
+  }
+};
+
+/// Outcome of touching a chunk in the cache.
+struct CacheOutcome {
+  bool hit = false;          ///< chunk was already resident
+  bool bypass = false;       ///< chunk can't fit; caller does direct I/O
+  bool needs_preread = false;///< partial access to a non-resident chunk
+  std::vector<ChunkKey> evicted_dirty;  ///< dirty chunks to write back
+};
+
+struct ChunkCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bypasses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+};
+
+class ChunkCache {
+ public:
+  ChunkCache(ChunkCacheProps props, Bytes chunk_bytes);
+
+  /// Touches `key` for a write covering `covered_bytes` of the chunk
+  /// (`chunk_was_allocated` says whether the chunk already exists on disk,
+  /// which decides if a partial miss needs a pre-read).
+  CacheOutcome touch_write(const ChunkKey& key, Bytes covered_bytes,
+                           bool chunk_was_allocated);
+
+  /// Touches `key` for a read.
+  CacheOutcome touch_read(const ChunkKey& key);
+
+  /// Removes and returns all dirty chunks (flush at dataset close).
+  std::vector<ChunkKey> flush_dirty();
+
+  bool resident(const ChunkKey& key) const;
+  std::size_t resident_chunks() const { return entries_.size(); }
+  Bytes capacity() const { return props_.rdcc_nbytes; }
+  Bytes chunk_bytes() const { return chunk_bytes_; }
+  const ChunkCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::list<ChunkKey>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  /// Inserts `key`, evicting LRU victims into `outcome`.
+  void insert(const ChunkKey& key, bool dirty, CacheOutcome& outcome);
+
+  ChunkCacheProps props_;
+  Bytes chunk_bytes_;
+  std::size_t max_resident_;  ///< min(nbytes/chunk, nslots)
+  std::list<ChunkKey> lru_;   ///< front = most recent
+  std::unordered_map<ChunkKey, Entry, ChunkKeyHash> entries_;
+  ChunkCacheStats stats_;
+};
+
+}  // namespace tunio::h5

@@ -1,0 +1,62 @@
+// Property lists for the HDF5-like library.
+//
+// These mirror the HDF5 property-list knobs the paper tunes (§IV tunes 12
+// parameters across HDF5, MPI-IO and Lustre; the HDF5 ones live here):
+// `alignment`, `sieve_buf_size`, `meta_block_size`, metadata cache size
+// (`mdc_conf`), collective metadata ops/writes, and the chunk cache
+// (`chunk_cache` = rdcc_nbytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.hpp"
+
+namespace tunio::h5 {
+
+/// File access properties (HDF5 FAPL analogue).
+struct FileAccessProps {
+  /// H5Pset_alignment: file-space allocations of at least
+  /// `alignment_threshold` bytes start at multiples of `alignment`.
+  Bytes alignment = 1;
+  Bytes alignment_threshold = 0;
+
+  /// H5Pset_sieve_buf_size: staging buffer for small raw-data accesses to
+  /// contiguous datasets.
+  Bytes sieve_buf_size = 64 * KiB;
+
+  /// H5Pset_meta_block_size: small metadata allocations are packed into
+  /// blocks of this size, turning many tiny writes into few larger ones.
+  Bytes meta_block_size = 2 * KiB;
+
+  /// Metadata cache capacity (H5Pset_mdc_config, simplified to its size).
+  Bytes mdc_nbytes = 2 * MiB;
+
+  /// H5Pset_all_coll_metadata_ops: metadata *reads* are performed once
+  /// and broadcast instead of every rank hitting the MDS.
+  bool coll_metadata_ops = false;
+
+  /// H5Pset_coll_metadata_write: metadata *writes* are aggregated and
+  /// issued collectively at flush points instead of eagerly one-by-one.
+  bool coll_metadata_write = false;
+};
+
+/// Chunk cache properties (HDF5 DAPL analogue; rdcc_nbytes of the paper's
+/// `chunk_cache` parameter).
+struct ChunkCacheProps {
+  Bytes rdcc_nbytes = 1 * MiB;
+  unsigned rdcc_nslots = 521;
+};
+
+/// Dataset creation properties (HDF5 DCPL analogue). Datasets are modeled
+/// as 1-D element arrays; `chunk_elements` selects the chunked layout.
+struct DatasetCreateProps {
+  std::optional<std::uint64_t> chunk_elements;  ///< nullopt = contiguous
+};
+
+/// Transfer properties (HDF5 DXPL analogue).
+struct TransferProps {
+  bool collective = false;  ///< H5FD_MPIO_COLLECTIVE vs INDEPENDENT
+};
+
+}  // namespace tunio::h5

@@ -1,0 +1,99 @@
+// AST for mini-C.
+//
+// Nodes carry their source line (discovery marks per line, as the paper
+// does after its clang-format one-statement-per-line normalization) and a
+// unique statement id (used by the marking fixpoint).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tunio::minic {
+
+enum class ExprKind {
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kVar,
+  kUnary,   ///< op in {-, !}
+  kBinary,  ///< op in {+,-,*,/,%,<,<=,>,>=,==,!=,&&,||}
+  kCall,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind{};
+  int line = 0;
+
+  std::int64_t int_value = 0;   // kIntLit
+  double float_value = 0.0;     // kFloatLit
+  std::string text;             // kStringLit spelling / kVar & kCall name /
+                                // kUnary & kBinary operator spelling
+  std::vector<ExprPtr> children;  // operands or call arguments
+};
+
+enum class StmtKind {
+  kDecl,      ///< `int x = e;` / `double y;` / `string s = "...";`
+  kAssign,    ///< `x = e;`
+  kExprStmt,  ///< `f(...);`
+  kFor,       ///< `for (init; cond; update) { body }`
+  kWhile,     ///< `while (cond) { body }`
+  kIf,        ///< `if (cond) { then } else { else }`
+  kReturn,    ///< `return e;` / `return;`
+  kBlock,     ///< `{ ... }`
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind{};
+  int line = 0;
+  int id = 0;  ///< unique within a Program, assigned by the parser
+
+  // kDecl
+  std::string decl_type;  // "int" | "double" | "string"
+  std::string name;       // kDecl / kAssign target
+  ExprPtr value;          // kDecl init (optional) / kAssign rhs /
+                          // kExprStmt expr / kReturn value (optional)
+
+  // kFor / kWhile / kIf
+  StmtPtr init;    // kFor
+  ExprPtr cond;    // kFor / kWhile / kIf
+  StmtPtr update;  // kFor
+  StmtPtr body;    // kFor / kWhile loop body, kIf then-branch (kBlock)
+  StmtPtr else_body;  // kIf (optional, kBlock)
+
+  // kBlock
+  std::vector<StmtPtr> statements;
+};
+
+struct Function {
+  std::string return_type;  // "int" | "double" | "string"
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;  // (type, name)
+  StmtPtr body;  // kBlock
+  int line = 0;
+};
+
+struct Program {
+  std::vector<Function> functions;
+  int next_stmt_id = 0;  ///< one past the largest assigned statement id
+
+  const Function* find(const std::string& name) const {
+    for (const Function& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Deep copies (used by discovery transformations).
+ExprPtr clone(const Expr& expr);
+StmtPtr clone(const Stmt& stmt);
+
+}  // namespace tunio::minic

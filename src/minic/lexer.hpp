@@ -1,0 +1,14 @@
+// Lexer for mini-C. Line-tracked, with C and C++ style comments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minic/token.hpp"
+
+namespace tunio::minic {
+
+/// Tokenizes `source`; throws SourceError with line info on bad input.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace tunio::minic

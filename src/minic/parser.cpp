@@ -1,0 +1,401 @@
+#include "minic/parser.hpp"
+
+#include "common/error.hpp"
+#include "minic/lexer.hpp"
+
+namespace tunio::minic {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : tokens_(lex(source)) {}
+
+  Program parse_program() {
+    Program program;
+    while (!at(TokenKind::kEnd)) {
+      program.functions.push_back(parse_function());
+    }
+    TUNIO_CHECK_MSG(!program.functions.empty(), "empty mini-C program");
+    program.next_stmt_id = next_id_;
+    return program;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+
+  Token advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Token expect(TokenKind kind, const std::string& context) {
+    if (!at(kind)) {
+      throw SourceError("minic parse error at line " +
+                        std::to_string(peek().line) + ": expected " +
+                        token_kind_name(kind) + " " + context + ", found " +
+                        token_kind_name(peek().kind));
+    }
+    return advance();
+  }
+
+  bool is_type(TokenKind kind) const {
+    return kind == TokenKind::kInt || kind == TokenKind::kDouble ||
+           kind == TokenKind::kStringKw;
+  }
+
+  StmtPtr make_stmt(StmtKind kind, int line) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->line = line;
+    stmt->id = next_id_++;
+    return stmt;
+  }
+
+  Function parse_function() {
+    Function fn;
+    const Token type = advance();
+    TUNIO_CHECK_MSG(is_type(type.kind),
+                    "expected return type at line " + std::to_string(type.line));
+    fn.return_type = type.text;
+    fn.line = type.line;
+    fn.name = expect(TokenKind::kIdentifier, "as function name").text;
+    expect(TokenKind::kLParen, "after function name");
+    while (!at(TokenKind::kRParen)) {
+      const Token ptype = advance();
+      TUNIO_CHECK_MSG(is_type(ptype.kind), "expected parameter type at line " +
+                                               std::to_string(ptype.line));
+      const Token pname = expect(TokenKind::kIdentifier, "as parameter name");
+      fn.params.emplace_back(ptype.text, pname.text);
+      if (!at(TokenKind::kRParen)) expect(TokenKind::kComma, "between params");
+    }
+    expect(TokenKind::kRParen, "after parameters");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  StmtPtr parse_block() {
+    const Token open = expect(TokenKind::kLBrace, "to open block");
+    StmtPtr block = make_stmt(StmtKind::kBlock, open.line);
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEnd)) {
+      block->statements.push_back(parse_statement());
+    }
+    expect(TokenKind::kRBrace, "to close block");
+    return block;
+  }
+
+  StmtPtr parse_statement() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::kInt:
+      case TokenKind::kDouble:
+      case TokenKind::kStringKw: {
+        StmtPtr decl = parse_declaration();
+        expect(TokenKind::kSemicolon, "after declaration");
+        return decl;
+      }
+      case TokenKind::kFor:
+        return parse_for();
+      case TokenKind::kWhile:
+        return parse_while();
+      case TokenKind::kIf:
+        return parse_if();
+      case TokenKind::kReturn: {
+        advance();
+        StmtPtr ret = make_stmt(StmtKind::kReturn, tok.line);
+        if (!at(TokenKind::kSemicolon)) ret->value = parse_expression();
+        expect(TokenKind::kSemicolon, "after return");
+        return ret;
+      }
+      case TokenKind::kLBrace:
+        return parse_block();
+      default: {
+        StmtPtr stmt = parse_assign_or_expr();
+        expect(TokenKind::kSemicolon, "after statement");
+        return stmt;
+      }
+    }
+  }
+
+  StmtPtr parse_declaration() {
+    const Token type = advance();
+    const Token name = expect(TokenKind::kIdentifier, "as variable name");
+    StmtPtr decl = make_stmt(StmtKind::kDecl, type.line);
+    decl->decl_type = type.text;
+    decl->name = name.text;
+    if (at(TokenKind::kAssign)) {
+      advance();
+      decl->value = parse_expression();
+    }
+    return decl;
+  }
+
+  /// Parses `x = expr` or a bare expression statement (no semicolon).
+  StmtPtr parse_assign_or_expr() {
+    if (at(TokenKind::kIdentifier) && peek(1).kind == TokenKind::kAssign) {
+      const Token name = advance();
+      advance();  // '='
+      StmtPtr assign = make_stmt(StmtKind::kAssign, name.line);
+      assign->name = name.text;
+      assign->value = parse_expression();
+      return assign;
+    }
+    const int line = peek().line;
+    StmtPtr stmt = make_stmt(StmtKind::kExprStmt, line);
+    stmt->value = parse_expression();
+    return stmt;
+  }
+
+  StmtPtr parse_for() {
+    const Token kw = expect(TokenKind::kFor, "");
+    expect(TokenKind::kLParen, "after 'for'");
+    StmtPtr stmt = make_stmt(StmtKind::kFor, kw.line);
+    if (!at(TokenKind::kSemicolon)) {
+      stmt->init = is_type(peek().kind) ? parse_declaration()
+                                        : parse_assign_or_expr();
+    }
+    expect(TokenKind::kSemicolon, "after for-init");
+    if (!at(TokenKind::kSemicolon)) stmt->cond = parse_expression();
+    expect(TokenKind::kSemicolon, "after for-condition");
+    if (!at(TokenKind::kRParen)) stmt->update = parse_assign_or_expr();
+    expect(TokenKind::kRParen, "after for-update");
+    stmt->body = parse_block();
+    return stmt;
+  }
+
+  StmtPtr parse_while() {
+    const Token kw = expect(TokenKind::kWhile, "");
+    expect(TokenKind::kLParen, "after 'while'");
+    StmtPtr stmt = make_stmt(StmtKind::kWhile, kw.line);
+    stmt->cond = parse_expression();
+    expect(TokenKind::kRParen, "after while-condition");
+    stmt->body = parse_block();
+    return stmt;
+  }
+
+  StmtPtr parse_if() {
+    const Token kw = expect(TokenKind::kIf, "");
+    expect(TokenKind::kLParen, "after 'if'");
+    StmtPtr stmt = make_stmt(StmtKind::kIf, kw.line);
+    stmt->cond = parse_expression();
+    expect(TokenKind::kRParen, "after if-condition");
+    stmt->body = parse_block();
+    if (at(TokenKind::kElse)) {
+      advance();
+      stmt->else_body =
+          at(TokenKind::kIf) ? parse_if() : parse_block();
+    }
+    return stmt;
+  }
+
+  // --- expressions (precedence climbing) --------------------------------
+
+  ExprPtr make_expr(ExprKind kind, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = line;
+    return e;
+  }
+
+  ExprPtr parse_expression() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at(TokenKind::kOrOr)) {
+      const Token op = advance();
+      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      node->text = "||";
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_and());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_equality();
+    while (at(TokenKind::kAndAnd)) {
+      const Token op = advance();
+      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      node->text = "&&";
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_equality());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr lhs = parse_relational();
+    while (at(TokenKind::kEqEq) || at(TokenKind::kNotEq)) {
+      const Token op = advance();
+      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      node->text = op.kind == TokenKind::kEqEq ? "==" : "!=";
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_relational());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr lhs = parse_additive();
+    while (at(TokenKind::kLess) || at(TokenKind::kLessEq) ||
+           at(TokenKind::kGreater) || at(TokenKind::kGreaterEq)) {
+      const Token op = advance();
+      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      switch (op.kind) {
+        case TokenKind::kLess: node->text = "<"; break;
+        case TokenKind::kLessEq: node->text = "<="; break;
+        case TokenKind::kGreater: node->text = ">"; break;
+        default: node->text = ">="; break;
+      }
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_additive());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      const Token op = advance();
+      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      node->text = op.kind == TokenKind::kPlus ? "+" : "-";
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_multiplicative());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (at(TokenKind::kStar) || at(TokenKind::kSlash) ||
+           at(TokenKind::kPercent)) {
+      const Token op = advance();
+      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      node->text = op.kind == TokenKind::kStar
+                       ? "*"
+                       : op.kind == TokenKind::kSlash ? "/" : "%";
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_unary());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::kMinus) || at(TokenKind::kNot)) {
+      const Token op = advance();
+      ExprPtr node = make_expr(ExprKind::kUnary, op.line);
+      node->text = op.kind == TokenKind::kMinus ? "-" : "!";
+      node->children.push_back(parse_unary());
+      return node;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::kIntLiteral: {
+        advance();
+        ExprPtr node = make_expr(ExprKind::kIntLit, tok.line);
+        node->int_value = tok.int_value;
+        node->text = tok.text;
+        return node;
+      }
+      case TokenKind::kFloatLiteral: {
+        advance();
+        ExprPtr node = make_expr(ExprKind::kFloatLit, tok.line);
+        node->float_value = tok.float_value;
+        node->text = tok.text;
+        return node;
+      }
+      case TokenKind::kStringLiteral: {
+        advance();
+        ExprPtr node = make_expr(ExprKind::kStringLit, tok.line);
+        node->text = tok.text;
+        return node;
+      }
+      case TokenKind::kIdentifier: {
+        advance();
+        if (at(TokenKind::kLParen)) {
+          advance();
+          ExprPtr call = make_expr(ExprKind::kCall, tok.line);
+          call->text = tok.text;
+          while (!at(TokenKind::kRParen)) {
+            call->children.push_back(parse_expression());
+            if (!at(TokenKind::kRParen)) {
+              expect(TokenKind::kComma, "between call arguments");
+            }
+          }
+          expect(TokenKind::kRParen, "after call arguments");
+          return call;
+        }
+        ExprPtr var = make_expr(ExprKind::kVar, tok.line);
+        var->text = tok.text;
+        return var;
+      }
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = parse_expression();
+        expect(TokenKind::kRParen, "to close parenthesis");
+        return inner;
+      }
+      default:
+        throw SourceError("minic parse error at line " +
+                          std::to_string(tok.line) +
+                          ": unexpected " + token_kind_name(tok.kind));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  int next_id_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  return Parser(source).parse_program();
+}
+
+ExprPtr clone(const Expr& expr) {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = expr.kind;
+  copy->line = expr.line;
+  copy->int_value = expr.int_value;
+  copy->float_value = expr.float_value;
+  copy->text = expr.text;
+  copy->children.reserve(expr.children.size());
+  for (const ExprPtr& child : expr.children) {
+    copy->children.push_back(clone(*child));
+  }
+  return copy;
+}
+
+StmtPtr clone(const Stmt& stmt) {
+  auto copy = std::make_unique<Stmt>();
+  copy->kind = stmt.kind;
+  copy->line = stmt.line;
+  copy->id = stmt.id;
+  copy->decl_type = stmt.decl_type;
+  copy->name = stmt.name;
+  if (stmt.value) copy->value = clone(*stmt.value);
+  if (stmt.init) copy->init = clone(*stmt.init);
+  if (stmt.cond) copy->cond = clone(*stmt.cond);
+  if (stmt.update) copy->update = clone(*stmt.update);
+  if (stmt.body) copy->body = clone(*stmt.body);
+  if (stmt.else_body) copy->else_body = clone(*stmt.else_body);
+  copy->statements.reserve(stmt.statements.size());
+  for (const StmtPtr& s : stmt.statements) {
+    copy->statements.push_back(clone(*s));
+  }
+  return copy;
+}
+
+}  // namespace tunio::minic

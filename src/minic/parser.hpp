@@ -1,0 +1,14 @@
+// Recursive-descent parser for mini-C.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace tunio::minic {
+
+/// Parses a full program (one or more function definitions). Throws
+/// SourceError with line information on malformed input.
+Program parse(const std::string& source);
+
+}  // namespace tunio::minic

@@ -1,0 +1,209 @@
+#include "minic/printer.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tunio::minic {
+
+namespace {
+
+class Printer {
+ public:
+  explicit Printer(const StmtFilter& keep) : keep_(keep) {}
+
+  std::string run(const Program& program) {
+    for (const Function& fn : program.functions) {
+      out_ << fn.return_type << " " << fn.name << "(";
+      for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        if (i) out_ << ", ";
+        out_ << fn.params[i].first << " " << fn.params[i].second;
+      }
+      out_ << ")\n";
+      print_stmt(*fn.body);
+      out_ << "\n";
+    }
+    return out_.str();
+  }
+
+ private:
+  bool kept(const Stmt& stmt) const { return !keep_ || keep_(stmt); }
+
+  void indent() {
+    for (int i = 0; i < depth_; ++i) out_ << "  ";
+  }
+
+  void print_stmt(const Stmt& stmt) {
+    if (!kept(stmt)) return;
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        indent();
+        out_ << "{\n";
+        ++depth_;
+        for (const StmtPtr& s : stmt.statements) print_stmt(*s);
+        --depth_;
+        indent();
+        out_ << "}\n";
+        break;
+      case StmtKind::kDecl:
+        indent();
+        out_ << stmt.decl_type << " " << stmt.name;
+        if (stmt.value) out_ << " = " << expr(*stmt.value);
+        out_ << ";\n";
+        break;
+      case StmtKind::kAssign:
+        indent();
+        out_ << stmt.name << " = " << expr(*stmt.value) << ";\n";
+        break;
+      case StmtKind::kExprStmt:
+        indent();
+        out_ << expr(*stmt.value) << ";\n";
+        break;
+      case StmtKind::kReturn:
+        indent();
+        out_ << "return";
+        if (stmt.value) out_ << " " << expr(*stmt.value);
+        out_ << ";\n";
+        break;
+      case StmtKind::kFor:
+        indent();
+        out_ << "for (" << header_stmt(stmt.init.get()) << "; "
+             << (stmt.cond ? expr(*stmt.cond) : std::string()) << "; "
+             << header_stmt(stmt.update.get()) << ")\n";
+        print_stmt(*stmt.body);
+        break;
+      case StmtKind::kWhile:
+        indent();
+        out_ << "while (" << expr(*stmt.cond) << ")\n";
+        print_stmt(*stmt.body);
+        break;
+      case StmtKind::kIf:
+        indent();
+        out_ << "if (" << expr(*stmt.cond) << ")\n";
+        print_stmt(*stmt.body);
+        if (stmt.else_body && kept(*stmt.else_body)) {
+          indent();
+          out_ << "else\n";
+          if (stmt.else_body->kind == StmtKind::kIf) {
+            print_stmt(*stmt.else_body);
+          } else {
+            print_stmt(*stmt.else_body);
+          }
+        }
+        break;
+    }
+  }
+
+  /// Renders a for-header sub-statement (init/update) without ';' or '\n'.
+  std::string header_stmt(const Stmt* stmt) {
+    if (stmt == nullptr) return "";
+    switch (stmt->kind) {
+      case StmtKind::kDecl: {
+        std::string s = stmt->decl_type + " " + stmt->name;
+        if (stmt->value) s += " = " + expr(*stmt->value);
+        return s;
+      }
+      case StmtKind::kAssign:
+        return stmt->name + " = " + expr(*stmt->value);
+      case StmtKind::kExprStmt:
+        return expr(*stmt->value);
+      default:
+        throw Error("unsupported statement in for-header");
+    }
+  }
+
+  std::string expr(const Expr& e) { return render(e, /*parent_prec=*/0); }
+
+  static int precedence(const std::string& op) {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "==" || op == "!=") return 3;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=") return 4;
+    if (op == "+" || op == "-") return 5;
+    return 6;  // * / %
+  }
+
+  std::string render(const Expr& e, int parent_prec) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+        return e.text.empty()
+                   ? (e.kind == ExprKind::kIntLit
+                          ? std::to_string(e.int_value)
+                          : std::to_string(e.float_value))
+                   : e.text;
+      case ExprKind::kStringLit:
+        return "\"" + e.text + "\"";
+      case ExprKind::kVar:
+        return e.text;
+      case ExprKind::kUnary:
+        return e.text + render(*e.children[0], 7);
+      case ExprKind::kBinary: {
+        const int prec = precedence(e.text);
+        std::string s = render(*e.children[0], prec) + " " + e.text + " " +
+                        render(*e.children[1], prec + 1);
+        if (prec < parent_prec) s = "(" + s + ")";
+        return s;
+      }
+      case ExprKind::kCall: {
+        std::string s = e.text + "(";
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+          if (i) s += ", ";
+          s += render(*e.children[i], 0);
+        }
+        return s + ")";
+      }
+    }
+    throw Error("unreachable expression kind");
+  }
+
+  const StmtFilter& keep_;
+  std::ostringstream out_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string print(const Program& program) {
+  static const StmtFilter kKeepAll;
+  return Printer(kKeepAll).run(program);
+}
+
+std::string print(const Program& program, const StmtFilter& keep) {
+  return Printer(keep).run(program);
+}
+
+std::string print_expr(const Expr& expr) {
+  // Render through a throwaway printer instance.
+  Program dummy;
+  static const StmtFilter kKeepAll;
+  Printer printer(kKeepAll);
+  (void)dummy;
+  // Printer::render is private; rebuild minimal rendering via a statement.
+  // Simplest: wrap in an expression statement and strip formatting.
+  Stmt stmt;
+  stmt.kind = StmtKind::kExprStmt;
+  stmt.value = clone(expr);
+  Function fn;
+  fn.return_type = "int";
+  fn.name = "__expr__";
+  auto block = std::make_unique<Stmt>();
+  block->kind = StmtKind::kBlock;
+  block->statements.push_back(clone(stmt));
+  fn.body = std::move(block);
+  Program program;
+  program.functions.push_back(std::move(fn));
+  std::string text = print(program);
+  // Extract the single statement line between the braces.
+  const std::size_t open = text.find("{\n");
+  const std::size_t close = text.rfind("\n}");
+  std::string line = text.substr(open + 2, close - open - 2);
+  // Trim indentation, trailing ";\n".
+  while (!line.empty() && (line.front() == ' ')) line.erase(line.begin());
+  while (!line.empty() && (line.back() == '\n' || line.back() == ';')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+}  // namespace tunio::minic

@@ -1,0 +1,33 @@
+// Pretty printer for mini-C.
+//
+// Prints the AST in normalized one-statement-per-line form with braces on
+// their own lines — the equivalent of the paper's custom clang-format
+// preprocessing step ("avoids line breaking with a 200-character column
+// limit while placing curly braces on distinct lines and splitting
+// multi-statement lines"). Discovery operates on this normalized text,
+// and reconstruction prints only the statements the marking loop kept.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace tunio::minic {
+
+/// Decides whether a statement survives reconstruction. The marking loop
+/// guarantees the parents of kept statements are kept, so a filtered
+/// print never orphans a statement.
+using StmtFilter = std::function<bool(const Stmt&)>;
+
+/// Prints the whole program in normalized form.
+std::string print(const Program& program);
+
+/// Prints only statements for which `keep` returns true (structural
+/// statements are skipped together with their whole subtree).
+std::string print(const Program& program, const StmtFilter& keep);
+
+/// Prints a single expression (used in tests and diagnostics).
+std::string print_expr(const Expr& expr);
+
+}  // namespace tunio::minic

@@ -1,0 +1,65 @@
+// Tokens for the mini-C language.
+//
+// TunIO's Application I/O Discovery parses the application's source to an
+// AST (the paper uses Clang's Python bindings). This repository analyses
+// programs written in mini-C — a C subset rich enough to express the HPC
+// I/O kernels (declarations, assignments, arithmetic, calls, for/while/if
+// with braces) while keeping the frontend self-contained.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tunio::minic {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  // keywords
+  kInt,
+  kDouble,
+  kStringKw,
+  kFor,
+  kWhile,
+  kIf,
+  kElse,
+  kReturn,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  // operators
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEqEq,
+  kNotEq,
+  kAndAnd,
+  kOrOr,
+  kNot,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        ///< identifier/literal spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;            ///< 1-based source line
+};
+
+std::string token_kind_name(TokenKind kind);
+
+}  // namespace tunio::minic

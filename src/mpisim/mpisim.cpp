@@ -1,0 +1,86 @@
+#include "mpisim/mpisim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tunio::mpisim {
+
+MpiSim::MpiSim(unsigned num_ranks, MpiProfile profile)
+    : profile_(profile), clocks_(num_ranks, 0.0) {
+  TUNIO_CHECK_MSG(num_ranks > 0, "MPI job needs at least one rank");
+}
+
+unsigned MpiSim::num_nodes() const {
+  return (size() + profile_.ranks_per_node - 1) / profile_.ranks_per_node;
+}
+
+SimSeconds MpiSim::clock(unsigned rank) const {
+  TUNIO_CHECK_MSG(rank < size(), "rank out of range");
+  return clocks_[rank];
+}
+
+void MpiSim::set_clock(unsigned rank, SimSeconds t) {
+  TUNIO_CHECK_MSG(rank < size(), "rank out of range");
+  clocks_[rank] = t;
+}
+
+void MpiSim::compute(unsigned rank, SimSeconds seconds) {
+  TUNIO_CHECK_MSG(rank < size(), "rank out of range");
+  TUNIO_CHECK_MSG(seconds >= 0.0, "negative compute time");
+  clocks_[rank] += seconds;
+}
+
+SimSeconds MpiSim::max_clock() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+SimSeconds MpiSim::min_clock() const {
+  return *std::min_element(clocks_.begin(), clocks_.end());
+}
+
+SimSeconds MpiSim::tree_latency() const {
+  const double levels = std::ceil(std::log2(std::max(2u, size())));
+  return profile_.hop_latency * levels;
+}
+
+void MpiSim::barrier() {
+  const SimSeconds leave = max_clock() + tree_latency();
+  std::fill(clocks_.begin(), clocks_.end(), leave);
+}
+
+void MpiSim::allreduce(Bytes bytes) {
+  const SimSeconds payload =
+      2.0 * static_cast<double>(bytes) / profile_.link_bandwidth;
+  const SimSeconds leave = max_clock() + 2.0 * tree_latency() + payload;
+  std::fill(clocks_.begin(), clocks_.end(), leave);
+}
+
+void MpiSim::gather(unsigned root, Bytes bytes_per_rank) {
+  TUNIO_CHECK_MSG(root < size(), "root out of range");
+  const SimSeconds payload =
+      static_cast<double>(bytes_per_rank) * (size() - 1) /
+      profile_.link_bandwidth;
+  clocks_[root] = max_clock() + tree_latency() + payload;
+}
+
+void MpiSim::broadcast(unsigned root, Bytes bytes) {
+  TUNIO_CHECK_MSG(root < size(), "root out of range");
+  const SimSeconds payload =
+      static_cast<double>(bytes) / profile_.link_bandwidth;
+  const SimSeconds leave = clocks_[root] + tree_latency() + payload;
+  for (SimSeconds& c : clocks_) c = std::max(c, leave);
+}
+
+void MpiSim::send(unsigned src, unsigned dst, Bytes bytes) {
+  TUNIO_CHECK_MSG(src < size() && dst < size(), "rank out of range");
+  const SimSeconds payload =
+      static_cast<double>(bytes) / profile_.link_bandwidth;
+  const SimSeconds arrival = clocks_[src] + profile_.hop_latency + payload;
+  clocks_[dst] = std::max(clocks_[dst], arrival);
+}
+
+void MpiSim::reset() { std::fill(clocks_.begin(), clocks_.end(), 0.0); }
+
+}  // namespace tunio::mpisim

@@ -1,0 +1,72 @@
+// Simulated MPI runtime.
+//
+// The workloads are SPMD programs over `num_ranks` simulated processes.
+// Rather than spawning real processes, each rank owns a simulated clock;
+// drivers iterate over ranks to perform each program phase and the
+// collectives synchronize/advance those clocks using standard
+// log-tree cost models (latency * ceil(log2 P) + bytes / bandwidth).
+//
+// This captures everything the I/O tuning experiments need from MPI:
+// relative rank progress, synchronization stalls at barriers before and
+// after I/O phases, and the shuffle cost of two-phase collective I/O.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace tunio::mpisim {
+
+/// Communication cost model for collectives.
+struct MpiProfile {
+  SimSeconds hop_latency = 2e-6;       ///< per tree level
+  Bps link_bandwidth = 10 * GB;        ///< per-rank injection bandwidth
+  unsigned ranks_per_node = 32;        ///< Cori Haswell: 32 ranks/node
+};
+
+class MpiSim {
+ public:
+  explicit MpiSim(unsigned num_ranks, MpiProfile profile = {});
+
+  unsigned size() const { return static_cast<unsigned>(clocks_.size()); }
+  unsigned num_nodes() const;
+
+  SimSeconds clock(unsigned rank) const;
+  void set_clock(unsigned rank, SimSeconds t);
+
+  /// Advances one rank's clock by `seconds` of local compute.
+  void compute(unsigned rank, SimSeconds seconds);
+
+  /// Maximum clock across ranks (the job's current makespan).
+  SimSeconds max_clock() const;
+  SimSeconds min_clock() const;
+
+  /// Synchronizes all ranks: everyone leaves at max + tree latency.
+  void barrier();
+
+  /// Allreduce of `bytes` payload per rank: barrier + 2x tree traffic.
+  void allreduce(Bytes bytes);
+
+  /// Gathers `bytes` from every rank to `root`.
+  void gather(unsigned root, Bytes bytes_per_rank);
+
+  /// Broadcast of `bytes` from `root` to everyone.
+  void broadcast(unsigned root, Bytes bytes);
+
+  /// Point-to-point send of `bytes` from `src` to `dst`.
+  void send(unsigned src, unsigned dst, Bytes bytes);
+
+  /// Resets all clocks to zero.
+  void reset();
+
+  const MpiProfile& profile() const { return profile_; }
+
+ private:
+  SimSeconds tree_latency() const;
+
+  MpiProfile profile_;
+  std::vector<SimSeconds> clocks_;
+};
+
+}  // namespace tunio::mpisim

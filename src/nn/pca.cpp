@@ -1,0 +1,139 @@
+#include "nn/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace tunio::nn {
+
+namespace {
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix (row-major).
+void jacobi_eigen(std::vector<double>& a, std::size_t n,
+                  std::vector<double>& eigenvalues,
+                  std::vector<double>& eigenvectors) {
+  eigenvectors.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) eigenvectors[i * n + i] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off += a[p * n + q] * a[p * n + q];
+      }
+    }
+    if (off < 1e-18) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-15) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = eigenvectors[k * n + p];
+          const double vkq = eigenvectors[k * n + q];
+          eigenvectors[k * n + p] = c * vkp - s * vkq;
+          eigenvectors[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = a[i * n + i];
+}
+
+}  // namespace
+
+PcaResult pca_fit(const std::vector<std::vector<double>>& samples) {
+  TUNIO_CHECK_MSG(!samples.empty(), "PCA over empty sample set");
+  const std::size_t dim = samples.front().size();
+  TUNIO_CHECK_MSG(dim > 0, "PCA over zero-dimensional samples");
+  for (const auto& row : samples) {
+    TUNIO_CHECK_MSG(row.size() == dim, "ragged PCA samples");
+  }
+
+  PcaResult result;
+  result.means.assign(dim, 0.0);
+  for (const auto& row : samples) {
+    for (std::size_t j = 0; j < dim; ++j) result.means[j] += row[j];
+  }
+  for (double& m : result.means) m /= static_cast<double>(samples.size());
+
+  // Covariance.
+  std::vector<double> cov(dim * dim, 0.0);
+  for (const auto& row : samples) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double di = row[i] - result.means[i];
+      for (std::size_t j = i; j < dim; ++j) {
+        cov[i * dim + j] += di * (row[j] - result.means[j]);
+      }
+    }
+  }
+  const double denom = std::max<std::size_t>(1, samples.size() - 1);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = i; j < dim; ++j) {
+      cov[i * dim + j] /= denom;
+      cov[j * dim + i] = cov[i * dim + j];
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  std::vector<double> eigenvectors;
+  jacobi_eigen(cov, dim, eigenvalues, eigenvectors);
+
+  // Sort components by descending eigenvalue.
+  std::vector<std::size_t> order(dim);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return eigenvalues[a] > eigenvalues[b];
+  });
+  result.components.reserve(dim);
+  result.eigenvalues.reserve(dim);
+  for (std::size_t k : order) {
+    std::vector<double> component(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      component[i] = eigenvectors[i * dim + k];
+    }
+    result.components.push_back(std::move(component));
+    result.eigenvalues.push_back(std::max(0.0, eigenvalues[k]));
+  }
+  return result;
+}
+
+std::vector<double> pca_importance(const PcaResult& pca) {
+  TUNIO_CHECK_MSG(!pca.components.empty(), "importance of empty PCA");
+  const std::size_t dim = pca.components.front().size();
+  std::vector<double> importance(dim, 0.0);
+  for (std::size_t k = 0; k < pca.components.size(); ++k) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      importance[i] += std::abs(pca.components[k][i]) * pca.eigenvalues[k];
+    }
+  }
+  const double total =
+      std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace tunio::nn

@@ -1,0 +1,33 @@
+// Principal Component Analysis via Jacobi eigen-decomposition of the
+// covariance matrix.
+//
+// Used by Smart Configuration Generation's offline training: "a PCA
+// analysis is performed on the parameters with respect to perf to train
+// the model to isolate the most impactful parameters" (§III-C). The
+// loading magnitudes of the dominant components, weighted by explained
+// variance, score each parameter's impact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tunio::nn {
+
+struct PcaResult {
+  /// components[k] = unit-length loading vector of the k-th component,
+  /// sorted by descending eigenvalue.
+  std::vector<std::vector<double>> components;
+  /// Eigenvalues (variances along each component), same order.
+  std::vector<double> eigenvalues;
+  /// Column means removed before the decomposition.
+  std::vector<double> means;
+};
+
+/// Fits PCA to `rows` samples of dimension `dim` (row-major `data`).
+PcaResult pca_fit(const std::vector<std::vector<double>>& samples);
+
+/// Per-dimension importance: sum over components of
+/// |loading| * eigenvalue, normalized to sum to 1.
+std::vector<double> pca_importance(const PcaResult& pca);
+
+}  // namespace tunio::nn

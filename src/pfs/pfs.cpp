@@ -1,0 +1,222 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tunio::pfs {
+
+void SizeHistogram::record(Bytes size) {
+  std::size_t bucket;
+  if (size < 4 * KiB) bucket = 0;
+  else if (size < 64 * KiB) bucket = 1;
+  else if (size < 1 * MiB) bucket = 2;
+  else if (size < 16 * MiB) bucket = 3;
+  else bucket = 4;
+  ++counts[bucket];
+}
+
+std::uint64_t SizeHistogram::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts) sum += c;
+  return sum;
+}
+
+const char* SizeHistogram::label(std::size_t bucket) {
+  static const char* kLabels[kBuckets] = {"<4K", "4K-64K", "64K-1M", "1M-16M",
+                                          ">=16M"};
+  return bucket < kBuckets ? kLabels[bucket] : "?";
+}
+
+SizeHistogram& SizeHistogram::operator-=(const SizeHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts[i] -= other.counts[i];
+  return *this;
+}
+
+PfsCounters& PfsCounters::operator-=(const PfsCounters& other) {
+  reads -= other.reads;
+  writes -= other.writes;
+  bytes_read -= other.bytes_read;
+  bytes_written -= other.bytes_written;
+  metadata_ops -= other.metadata_ops;
+  rmw_bytes -= other.rmw_bytes;
+  read_sizes -= other.read_sizes;
+  write_sizes -= other.write_sizes;
+  return *this;
+}
+
+PfsSimulator::PfsSimulator(PfsProfile profile)
+    : profile_(profile),
+      osts_(profile.num_osts),
+      network_(profile.network.aggregate_bandwidth,
+               profile.network.message_latency) {
+  TUNIO_CHECK_MSG(profile_.num_osts > 0, "PFS needs at least one OST");
+}
+
+SimSeconds PfsSimulator::create(const std::string& path, SimSeconds start,
+                                const CreateOptions& options) {
+  const Bytes stripe_size =
+      options.stripe_size.value_or(profile_.default_stripe_size);
+  const unsigned stripe_count =
+      options.stripe_count.value_or(profile_.default_stripe_count);
+  File file{StripeLayout(stripe_size, stripe_count, next_ost_offset_,
+                         profile_.num_osts),
+            options.tier, 0, {}};
+  next_ost_offset_ = (next_ost_offset_ + stripe_count) % profile_.num_osts;
+  files_.insert_or_assign(path, std::move(file));
+  return metadata_op(start);
+}
+
+SimSeconds PfsSimulator::open(const std::string& path, SimSeconds start) {
+  TUNIO_CHECK_MSG(exists(path), "open of missing file: " + path);
+  return metadata_op(start);
+}
+
+SimSeconds PfsSimulator::remove(const std::string& path, SimSeconds start) {
+  files_.erase(path);
+  return metadata_op(start);
+}
+
+SimSeconds PfsSimulator::metadata_op(SimSeconds start) {
+  ++counters_.metadata_ops;
+  return mds_.acquire(start, profile_.mds.op_latency).end;
+}
+
+SimSeconds PfsSimulator::memory_io(SimSeconds start, Bytes length) const {
+  return start + profile_.memory.latency +
+         static_cast<double>(length) / profile_.memory.bandwidth;
+}
+
+SimSeconds PfsSimulator::service_extent(File& file, const StripeExtent& extent,
+                                        SimSeconds start, bool is_write) {
+  ResourceTimeline& ost = osts_[extent.ost];
+  const OstProfile& prof = profile_.ost;
+
+  // Sequentiality: a request that continues where the previous one on this
+  // OST object ended skips the seek.
+  auto [it, inserted] = file.last_end_per_ost.try_emplace(extent.ost, 0);
+  const bool sequential = !inserted && it->second == extent.object_offset;
+  it->second = extent.object_offset + extent.length;
+
+  SimSeconds service = prof.request_overhead +
+                       static_cast<double>(extent.length) /
+                           prof.stream_bandwidth;
+  if (!sequential) service += prof.seek_latency;
+
+  if (is_write && !sequential) {
+    // Partial leading/trailing device blocks force a read-modify-write:
+    // the untouched remainder of each partial block must be pre-read.
+    // Sequential appends are exempt — client page caches absorb streaming
+    // partial blocks and flush them whole.
+    const Bytes block = prof.rmw_block;
+    const Bytes head_pad = extent.object_offset % block;
+    const Bytes tail_end = (extent.object_offset + extent.length) % block;
+    Bytes pre_read = 0;
+    if (head_pad != 0) pre_read += head_pad;
+    if (tail_end != 0 && extent.length + head_pad > tail_end) {
+      pre_read += block - tail_end;
+    }
+    if (extent.length + pre_read < block && pre_read > 0) {
+      // Tiny write inside one block: cap the pre-read at one block.
+      pre_read = std::min<Bytes>(pre_read, block);
+    }
+    if (pre_read > 0) {
+      service += prof.rmw_read_factor *
+                 static_cast<double>(pre_read) / prof.stream_bandwidth;
+      counters_.rmw_bytes += pre_read;
+    }
+  }
+
+  if (is_write) {
+    // Data crosses the network to the server, then the OST services it.
+    const SimSeconds arrived = network_.transfer(start, extent.length);
+    return ost.acquire(arrived, service).end;
+  }
+  // Reads: OST services the request, then data returns over the network.
+  const SimSeconds served = ost.acquire(start, service).end;
+  return network_.transfer(served, extent.length);
+}
+
+SimSeconds PfsSimulator::write(const std::string& path, SimSeconds start,
+                               Bytes offset, Bytes length) {
+  File& file = lookup(path);
+  ++counters_.writes;
+  counters_.bytes_written += length;
+  counters_.write_sizes.record(length);
+  file.size = std::max(file.size, offset + length);
+  if (file.tier == Tier::kMemory) return memory_io(start, length);
+
+  SimSeconds done = start;
+  for (const StripeExtent& extent : file.layout.split(offset, length)) {
+    done = std::max(done, service_extent(file, extent, start, /*write=*/true));
+  }
+  return done;
+}
+
+SimSeconds PfsSimulator::read(const std::string& path, SimSeconds start,
+                              Bytes offset, Bytes length) {
+  File& file = lookup(path);
+  ++counters_.reads;
+  counters_.bytes_read += length;
+  counters_.read_sizes.record(length);
+  if (file.tier == Tier::kMemory) return memory_io(start, length);
+
+  SimSeconds done = start;
+  for (const StripeExtent& extent : file.layout.split(offset, length)) {
+    done = std::max(done, service_extent(file, extent, start, /*write=*/false));
+  }
+  return done;
+}
+
+bool PfsSimulator::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Bytes PfsSimulator::file_size(const std::string& path) const {
+  return lookup(path).size;
+}
+
+Tier PfsSimulator::file_tier(const std::string& path) const {
+  return lookup(path).tier;
+}
+
+const StripeLayout& PfsSimulator::file_layout(const std::string& path) const {
+  return lookup(path).layout;
+}
+
+std::vector<SimSeconds> PfsSimulator::ost_busy_times() const {
+  std::vector<SimSeconds> busy;
+  busy.reserve(osts_.size());
+  for (const ResourceTimeline& ost : osts_) busy.push_back(ost.busy_time());
+  return busy;
+}
+
+void PfsSimulator::reset() {
+  for (ResourceTimeline& ost : osts_) ost.reset();
+  mds_.reset();
+  network_.reset();
+  files_.clear();
+  counters_ = {};
+  next_ost_offset_ = 0;
+}
+
+void PfsSimulator::quiesce() {
+  for (ResourceTimeline& ost : osts_) ost.reset();
+  mds_.reset();
+  network_.reset();
+  for (auto& [path, file] : files_) file.last_end_per_ost.clear();
+}
+
+PfsSimulator::File& PfsSimulator::lookup(const std::string& path) {
+  auto it = files_.find(path);
+  TUNIO_CHECK_MSG(it != files_.end(), "unknown file: " + path);
+  return it->second;
+}
+
+const PfsSimulator::File& PfsSimulator::lookup(const std::string& path) const {
+  auto it = files_.find(path);
+  TUNIO_CHECK_MSG(it != files_.end(), "unknown file: " + path);
+  return it->second;
+}
+
+}  // namespace tunio::pfs

@@ -1,0 +1,192 @@
+// A discrete-time Lustre-like parallel file system simulator.
+//
+// This is the storage substrate underneath the whole TunIO stack. It
+// models the pieces of a Lustre deployment whose interactions the tuned
+// parameters (`striping_factor`, `striping_unit`, alignment, collective
+// buffering) actually exercise:
+//
+//   * a pool of OSTs, each a serially shared device with seek latency,
+//     streaming bandwidth, per-request overhead, and a read-modify-write
+//     penalty for partial-block writes;
+//   * a metadata server (MDS) with per-op latency, serially shared;
+//   * a shared interconnect with aggregate bandwidth and message latency;
+//   * a memory tier (think `/dev/shm`) used by TunIO's I/O path
+//     switching transformation.
+//
+// All operations take the caller's simulated clock and return the
+// completion time; contention between concurrent callers emerges from
+// the shared `ResourceTimeline`s.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timeline.hpp"
+#include "common/units.hpp"
+#include "pfs/layout.hpp"
+
+namespace tunio::pfs {
+
+/// Storage tier a file lives on.
+enum class Tier {
+  kDisk,    ///< striped across OSTs (Lustre scratch)
+  kMemory,  ///< node-local memory (I/O path switching target)
+};
+
+/// Cost model for one OST.
+struct OstProfile {
+  SimSeconds seek_latency = 3e-3;       ///< per discontiguous request
+  Bps stream_bandwidth = 2.8 * GB;      ///< sustained per-OST throughput
+  SimSeconds request_overhead = 150e-6; ///< fixed RPC/service overhead
+  Bytes rmw_block = 1 * MiB;            ///< write granularity of the device
+  double rmw_read_factor = 1.0;         ///< cost multiple for RMW pre-reads
+};
+
+/// Cost model for the metadata server.
+struct MdsProfile {
+  SimSeconds op_latency = 800e-6;  ///< create/open/stat/close service time
+};
+
+/// Cost model for the interconnect between compute nodes and servers.
+/// The aggregate bandwidth is *job-scoped*: a 4-node job can only inject
+/// ~nodes × NIC bandwidth into the fabric regardless of its total
+/// capacity. The 500-node end-to-end experiment raises this accordingly.
+struct NetworkProfile {
+  Bps aggregate_bandwidth = 40 * GB;  ///< 4 nodes × ~10 GB/s injection
+  SimSeconds message_latency = 5e-6;
+};
+
+/// Cost model for the memory tier.
+struct MemoryProfile {
+  Bps bandwidth = 12 * GB;  ///< per-process memcpy-like bandwidth
+  SimSeconds latency = 1e-6;
+};
+
+/// Whole-system profile. Defaults approximate Cori's scratch filesystem
+/// scaled to the 4-node/128-process experiments of the paper.
+struct PfsProfile {
+  unsigned num_osts = 64;
+  OstProfile ost;
+  MdsProfile mds;
+  NetworkProfile network;
+  MemoryProfile memory;
+  Bytes default_stripe_size = 1 * MiB;   ///< Lustre default striping_unit
+  unsigned default_stripe_count = 1;     ///< Lustre default striping_factor
+};
+
+/// Access-size histogram (Darshan's POSIX_SIZE_*_ buckets, condensed).
+/// Buckets: <4 KiB, 4–64 KiB, 64 KiB–1 MiB, 1–16 MiB, ≥16 MiB.
+struct SizeHistogram {
+  static constexpr std::size_t kBuckets = 5;
+  std::array<std::uint64_t, kBuckets> counts{};
+
+  void record(Bytes size);
+  std::uint64_t total() const;
+  /// Bucket label for reports ("4K-64K", ...).
+  static const char* label(std::size_t bucket);
+
+  SizeHistogram& operator-=(const SizeHistogram& other);
+};
+
+/// Aggregate operation counters (Darshan-style, PFS layer).
+struct PfsCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+  std::uint64_t metadata_ops = 0;
+  Bytes rmw_bytes = 0;  ///< extra bytes pre-read by partial-block writes
+  SizeHistogram read_sizes;
+  SizeHistogram write_sizes;
+
+  PfsCounters& operator-=(const PfsCounters& other);
+};
+
+/// Striping policy requested at file creation.
+struct CreateOptions {
+  std::optional<Bytes> stripe_size;      ///< default: profile default
+  std::optional<unsigned> stripe_count;  ///< default: profile default
+  Tier tier = Tier::kDisk;
+};
+
+class PfsSimulator {
+ public:
+  explicit PfsSimulator(PfsProfile profile = {});
+
+  PfsSimulator(const PfsSimulator&) = delete;
+  PfsSimulator& operator=(const PfsSimulator&) = delete;
+
+  const PfsProfile& profile() const { return profile_; }
+
+  /// Creates (or truncates) a file; returns completion time of the MDS op.
+  SimSeconds create(const std::string& path, SimSeconds start,
+                    const CreateOptions& options = {});
+
+  /// Opens an existing file (MDS op). Throws if absent.
+  SimSeconds open(const std::string& path, SimSeconds start);
+
+  /// Removes a file if present (MDS op).
+  SimSeconds remove(const std::string& path, SimSeconds start);
+
+  /// A pure-metadata operation against the MDS (stat, attr update, ...).
+  SimSeconds metadata_op(SimSeconds start);
+
+  /// Writes [offset, offset+length) of `path`; returns completion time.
+  SimSeconds write(const std::string& path, SimSeconds start, Bytes offset,
+                   Bytes length);
+
+  /// Reads [offset, offset+length) of `path`; returns completion time.
+  SimSeconds read(const std::string& path, SimSeconds start, Bytes offset,
+                  Bytes length);
+
+  bool exists(const std::string& path) const;
+  Bytes file_size(const std::string& path) const;
+  Tier file_tier(const std::string& path) const;
+  const StripeLayout& file_layout(const std::string& path) const;
+
+  const PfsCounters& counters() const { return counters_; }
+
+  /// Per-OST busy time (utilization diagnostics for benches).
+  std::vector<SimSeconds> ost_busy_times() const;
+
+  /// Clears all files, timelines and counters; keeps the profile.
+  void reset();
+
+  /// Rewinds all device/network timelines to t=0 but keeps files and
+  /// counters. Used to separate a run from setup I/O that happened
+  /// "before" it (e.g. producing an input dataset).
+  void quiesce();
+
+ private:
+  struct File {
+    StripeLayout layout;
+    Tier tier = Tier::kDisk;
+    Bytes size = 0;
+    /// Last byte serviced per OST object, to detect sequential access.
+    std::map<unsigned, Bytes> last_end_per_ost;
+  };
+
+  File& lookup(const std::string& path);
+  const File& lookup(const std::string& path) const;
+
+  /// Services one per-OST extent; returns completion time.
+  SimSeconds service_extent(File& file, const StripeExtent& extent,
+                            SimSeconds start, bool is_write);
+
+  SimSeconds memory_io(SimSeconds start, Bytes length) const;
+
+  PfsProfile profile_;
+  std::vector<ResourceTimeline> osts_;
+  ResourceTimeline mds_;
+  SharedChannel network_;
+  std::map<std::string, File> files_;
+  PfsCounters counters_;
+  unsigned next_ost_offset_ = 0;  ///< round-robin start OST for new files
+};
+
+}  // namespace tunio::pfs

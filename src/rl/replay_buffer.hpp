@@ -1,0 +1,54 @@
+// Fixed-capacity experience replay.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tunio::rl {
+
+struct Transition {
+  std::vector<double> state;
+  std::size_t action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool terminal = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+    TUNIO_CHECK_MSG(capacity_ > 0, "replay buffer needs capacity");
+  }
+
+  void push(Transition transition) {
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(transition));
+    } else {
+      buffer_[cursor_] = std::move(transition);
+    }
+    cursor_ = (cursor_ + 1) % capacity_;
+  }
+
+  std::size_t size() const { return buffer_.size(); }
+  bool empty() const { return buffer_.empty(); }
+
+  /// Uniform sample with replacement.
+  std::vector<const Transition*> sample(std::size_t n, Rng& rng) const {
+    TUNIO_CHECK_MSG(!buffer_.empty(), "sampling empty replay buffer");
+    std::vector<const Transition*> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(&buffer_[rng.index(buffer_.size())]);
+    }
+    return batch;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t cursor_ = 0;
+  std::vector<Transition> buffer_;
+};
+
+}  // namespace tunio::rl

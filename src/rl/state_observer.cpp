@@ -1,0 +1,28 @@
+#include "rl/state_observer.hpp"
+
+namespace tunio::rl {
+
+StateObserver::StateObserver(std::size_t context_dim,
+                             std::size_t embedding_dim, Rng rng)
+    : embedding_dim_(embedding_dim),
+      rng_(rng),
+      net_({context_dim, embedding_dim * 2, embedding_dim, 1}, rng_,
+           {2e-3}) {}
+
+std::vector<double> StateObserver::observe(
+    const std::vector<double>& context) const {
+  std::vector<double> embedding;
+  net_.forward_with_embedding(context, &embedding);
+  return embedding;
+}
+
+void StateObserver::update(const std::vector<double>& context,
+                           double normalized_perf) {
+  net_.train(context, {normalized_perf});
+}
+
+double StateObserver::predict(const std::vector<double>& context) const {
+  return net_.forward(context)[0];
+}
+
+}  // namespace tunio::rl

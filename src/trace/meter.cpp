@@ -1,0 +1,99 @@
+#include "trace/meter.hpp"
+
+#include "common/error.hpp"
+
+namespace tunio::trace {
+
+RunMeter::RunMeter(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs)
+    : mpi_(mpi), fs_(fs) {}
+
+void RunMeter::begin() {
+  TUNIO_CHECK_MSG(!active_, "RunMeter::begin while active");
+  active_ = true;
+  current_ = Phase::kOther;
+  run_start_ = mpi_.max_clock();
+  phase_start_ = run_start_;
+  snapshot_ = fs_.counters();
+  counters_ = {};
+}
+
+void RunMeter::close_phase() {
+  const SimSeconds now = mpi_.max_clock();
+  const SimSeconds span = now - phase_start_;
+  switch (current_) {
+    case Phase::kRead:
+      counters_.read_time += span;
+      break;
+    case Phase::kWrite:
+      counters_.write_time += span;
+      break;
+    case Phase::kOther:
+      counters_.other_time += span;
+      break;
+  }
+  phase_start_ = now;
+}
+
+void RunMeter::phase_begin(Phase phase) {
+  TUNIO_CHECK_MSG(active_, "RunMeter::phase_begin before begin");
+  close_phase();
+  current_ = phase;
+}
+
+PerfResult RunMeter::end() {
+  TUNIO_CHECK_MSG(active_, "RunMeter::end before begin");
+  close_phase();
+  active_ = false;
+
+  pfs::PfsCounters delta = fs_.counters();
+  delta -= snapshot_;
+  counters_.bytes_read = delta.bytes_read;
+  counters_.bytes_written = delta.bytes_written;
+  counters_.read_ops = delta.reads;
+  counters_.write_ops = delta.writes;
+  counters_.metadata_ops = delta.metadata_ops;
+  counters_.read_sizes = delta.read_sizes;
+  counters_.write_sizes = delta.write_sizes;
+  counters_.elapsed = mpi_.max_clock() - run_start_;
+
+  PerfResult result;
+  result.counters = counters_;
+  const double total_bytes = static_cast<double>(counters_.bytes_read) +
+                             static_cast<double>(counters_.bytes_written);
+  result.alpha = total_bytes > 0.0
+                     ? static_cast<double>(counters_.bytes_written) /
+                           total_bytes
+                     : 0.0;
+  if (counters_.read_time > 0.0 && counters_.bytes_read > 0) {
+    result.bw_read_mbps =
+        to_mbps(static_cast<double>(counters_.bytes_read) /
+                counters_.read_time);
+  }
+  if (counters_.write_time > 0.0 && counters_.bytes_written > 0) {
+    result.bw_write_mbps =
+        to_mbps(static_cast<double>(counters_.bytes_written) /
+                counters_.write_time);
+  }
+  // Unphased runs (no phase_begin calls): fall back to whole-run BW.
+  if (counters_.read_time == 0.0 && counters_.write_time == 0.0 &&
+      counters_.elapsed > 0.0) {
+    if (counters_.bytes_read > 0) {
+      result.bw_read_mbps = to_mbps(
+          static_cast<double>(counters_.bytes_read) / counters_.elapsed);
+    }
+    if (counters_.bytes_written > 0) {
+      result.bw_write_mbps = to_mbps(
+          static_cast<double>(counters_.bytes_written) / counters_.elapsed);
+    }
+  }
+  result.perf_mbps =
+      perf_objective(result.bw_read_mbps, result.bw_write_mbps, result.alpha);
+  return result;
+}
+
+double perf_objective(double bw_read_mbps, double bw_write_mbps,
+                      double alpha) {
+  return (1.0 - alpha) * bw_read_mbps + alpha * bw_write_mbps;
+}
+
+}  // namespace tunio::trace

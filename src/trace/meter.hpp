@@ -1,0 +1,82 @@
+// Run metering: the Darshan-like monitoring hook of the tuning pipeline.
+//
+// The paper's tuner "calls Python subprocess() to spawn an I/O kernel job
+// ... and monitor bandwidth (using monitoring hooks such as Darshan)
+// within its fitness function". `RunMeter` is that hook for the simulated
+// stack: it brackets one application run, splits elapsed simulated time
+// into read/write/other windows (workloads mark their phases), and
+// computes the paper's objective
+//
+//     perf ≡ (1 − α)·BW_r + α·BW_w,   α = bytes_written / bytes_total,
+//
+// with BW_r/BW_w measured over the time actually spent in read/write
+// phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "mpisim/mpisim.hpp"
+#include "pfs/pfs.hpp"
+
+namespace tunio::trace {
+
+enum class Phase { kRead, kWrite, kOther };
+
+/// Counters accumulated over one metered run.
+struct RunCounters {
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+  std::uint64_t read_ops = 0;      ///< PFS-level read requests
+  std::uint64_t write_ops = 0;     ///< PFS-level write requests
+  std::uint64_t metadata_ops = 0;
+  SimSeconds read_time = 0.0;      ///< elapsed inside read phases
+  SimSeconds write_time = 0.0;
+  SimSeconds other_time = 0.0;     ///< compute / unphased time
+  SimSeconds elapsed = 0.0;        ///< whole-run makespan
+  pfs::SizeHistogram read_sizes;   ///< Darshan-style access sizes
+  pfs::SizeHistogram write_sizes;
+};
+
+/// The paper's tuning objective for one run.
+struct PerfResult {
+  double bw_read_mbps = 0.0;   ///< BW_r in MB/s
+  double bw_write_mbps = 0.0;  ///< BW_w in MB/s
+  double alpha = 0.0;          ///< written / total bytes
+  double perf_mbps = 0.0;      ///< (1-α)BW_r + αBW_w
+  RunCounters counters;
+};
+
+class RunMeter {
+ public:
+  RunMeter(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs);
+
+  /// Starts metering (snapshots clocks and counters).
+  void begin();
+
+  /// Enters a phase; implicitly closes the previous one. Time between
+  /// begin() and the first phase_begin is attributed to kOther.
+  void phase_begin(Phase phase);
+
+  /// Finishes metering and computes the objective.
+  PerfResult end();
+
+ private:
+  void close_phase();
+
+  mpisim::MpiSim& mpi_;
+  pfs::PfsSimulator& fs_;
+  bool active_ = false;
+  Phase current_ = Phase::kOther;
+  SimSeconds phase_start_ = 0.0;
+  SimSeconds run_start_ = 0.0;
+  pfs::PfsCounters snapshot_;
+  RunCounters counters_;
+};
+
+/// Computes perf from already-known bandwidth components (used by the RL
+/// training emulators, which never touch the stack).
+double perf_objective(double bw_read_mbps, double bw_write_mbps, double alpha);
+
+}  // namespace tunio::trace

@@ -1,0 +1,42 @@
+#include "trace/report.hpp"
+
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace tunio::trace {
+
+std::string histogram_line(const pfs::SizeHistogram& histogram) {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < pfs::SizeHistogram::kBuckets; ++b) {
+    if (b) os << "  ";
+    os << pfs::SizeHistogram::label(b) << ":" << histogram.counts[b];
+  }
+  return os.str();
+}
+
+std::string report(const PerfResult& result) {
+  const RunCounters& c = result.counters;
+  std::ostringstream os;
+  os << "# run summary (Darshan-style)\n";
+  os << "elapsed:        " << format_minutes(c.elapsed) << " ("
+     << c.elapsed << " s)\n";
+  os << "time split:     write " << c.write_time << " s, read "
+     << c.read_time << " s, other " << c.other_time << " s\n";
+  os << "writes:         " << c.write_ops << " ops, "
+     << format_bytes(c.bytes_written) << "\n";
+  os << "reads:          " << c.read_ops << " ops, "
+     << format_bytes(c.bytes_read) << "\n";
+  os << "metadata ops:   " << c.metadata_ops << "\n";
+  os << "BW_w:           " << format_bandwidth(result.bw_write_mbps * MB)
+     << "\n";
+  os << "BW_r:           " << format_bandwidth(result.bw_read_mbps * MB)
+     << "\n";
+  os << "write sizes:    " << histogram_line(c.write_sizes) << "\n";
+  os << "read sizes:     " << histogram_line(c.read_sizes) << "\n";
+  os << "alpha:          " << result.alpha << "\n";
+  os << "perf objective: " << format_bandwidth(result.perf_mbps * MB) << "\n";
+  return os.str();
+}
+
+}  // namespace tunio::trace

@@ -1,0 +1,24 @@
+// Darshan-style text reports for metered runs.
+//
+// The paper's tuning pipeline monitors runs "using monitoring hooks such
+// as Darshan"; this renders a metered run the way darshan-parser's
+// summary does — counters, time split, bandwidths, and the access-size
+// histograms — so examples and debugging sessions can show where a
+// configuration's time went.
+#pragma once
+
+#include <string>
+
+#include "pfs/pfs.hpp"
+#include "trace/meter.hpp"
+
+namespace tunio::trace {
+
+/// Renders a one-run summary (multi-line, human-readable).
+std::string report(const PerfResult& result);
+
+/// Renders an access-size histogram as a single line, e.g.
+/// "<4K:240  4K-64K:0  64K-1M:12  1M-16M:1024  >=16M:0".
+std::string histogram_line(const pfs::SizeHistogram& histogram);
+
+}  // namespace tunio::trace

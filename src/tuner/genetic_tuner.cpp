@@ -1,0 +1,217 @@
+#include "tuner/genetic_tuner.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace tunio::tuner {
+
+GeneticTuner::GeneticTuner(const cfg::ConfigSpace& space, Objective& objective,
+                           GaOptions options)
+    : space_(space),
+      objective_(objective),
+      options_(options),
+      rng_(options.seed) {
+  TUNIO_CHECK_MSG(options_.population >= 4, "population too small");
+  TUNIO_CHECK_MSG(options_.tournament_size >= 2, "tournament too small");
+  TUNIO_CHECK_MSG(options_.elitism < options_.population,
+                  "elitism must leave room for offspring");
+}
+
+void GeneticTuner::set_subset_provider(SubsetProvider provider) {
+  subset_provider_ = std::move(provider);
+}
+
+void GeneticTuner::set_stopper(Stopper stopper) {
+  stopper_ = std::move(stopper);
+}
+
+cfg::Configuration GeneticTuner::to_config(const Genome& genome) const {
+  return cfg::Configuration(&space_, genome);
+}
+
+GeneticTuner::Genome GeneticTuner::random_genome() {
+  // Mutant of the defaults (see GaOptions::init_mutation_prob).
+  Genome genome = space_.default_configuration().indices();
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (rng_.chance(options_.init_mutation_prob)) {
+      genome[i] = rng_.index(space_.parameter(i).domain.size());
+    }
+  }
+  return genome;
+}
+
+double GeneticTuner::fitness(const Genome& genome, double* seconds) {
+  if (options_.cache_evaluations) {
+    auto it = fitness_cache_.find(genome);
+    if (it != fitness_cache_.end()) {
+      if (seconds) *seconds = 0.0;  // cached: nothing re-run
+      return it->second;
+    }
+  }
+  const Evaluation eval = objective_.evaluate(to_config(genome));
+  if (seconds) *seconds = eval.eval_seconds;
+  if (options_.cache_evaluations) {
+    fitness_cache_.emplace(genome, eval.perf_mbps);
+  }
+  return eval.perf_mbps;
+}
+
+std::pair<const GeneticTuner::Genome*, const GeneticTuner::Genome*>
+GeneticTuner::tournament(const std::vector<Genome>& population,
+                         const std::vector<double>& scores) {
+  // Choose `tournament_size` distinct contestants; the best two win.
+  std::vector<std::size_t> contestants;
+  while (contestants.size() < options_.tournament_size) {
+    const std::size_t pick = rng_.index(population.size());
+    if (std::find(contestants.begin(), contestants.end(), pick) ==
+        contestants.end()) {
+      contestants.push_back(pick);
+    }
+  }
+  std::sort(contestants.begin(), contestants.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  return {&population[contestants[0]], &population[contestants[1]]};
+}
+
+TuningResult GeneticTuner::run() {
+  TuningResult result;
+
+  // Initial population: the stack defaults (or the caller's seed
+  // configuration) plus mutated explorers. Individual 0 also measures
+  // the starting perf reported as `initial_perf`.
+  std::vector<Genome> population;
+  if (options_.seed_indices.has_value()) {
+    TUNIO_CHECK_MSG(options_.seed_indices->size() == space_.num_parameters(),
+                    "seed configuration arity mismatch");
+    population.push_back(*options_.seed_indices);
+  } else {
+    population.push_back(space_.default_configuration().indices());
+  }
+  while (population.size() < options_.population) {
+    population.push_back(random_genome());
+  }
+
+  double cumulative_seconds = 0.0;
+  std::vector<double> scores(population.size(), 0.0);
+  Genome best_genome = population.front();
+  double best_perf = -1.0;
+
+  for (unsigned generation = 0; generation < options_.max_generations;
+       ++generation) {
+    // Smart Configuration Generation hook: which genes may move.
+    std::vector<std::size_t> subset;
+    if (subset_provider_) {
+      subset = subset_provider_(generation, result);
+      std::sort(subset.begin(), subset.end());
+      subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+      TUNIO_CHECK_MSG(
+          subset.empty() || subset.back() < space_.num_parameters(),
+          "subset index out of range");
+    }
+
+    // Evaluate the population.
+    double generation_best = -1.0;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      double seconds = 0.0;
+      scores[i] = fitness(population[i], &seconds);
+      cumulative_seconds += seconds;
+      generation_best = std::max(generation_best, scores[i]);
+      if (scores[i] > best_perf) {
+        best_perf = scores[i];
+        best_genome = population[i];
+      }
+    }
+    if (generation == 0) {
+      result.initial_perf = scores[0];  // the default configuration
+    }
+
+    GenerationStats stats;
+    stats.generation = generation;
+    stats.generation_best_perf = generation_best;
+    stats.best_perf = best_perf;
+    stats.cumulative_seconds = cumulative_seconds;
+    stats.subset = subset;
+    result.history.push_back(stats);
+    result.best_perf = best_perf;
+    result.best_config = to_config(best_genome);
+    result.total_seconds = cumulative_seconds;
+    result.generations_run = generation + 1;
+
+    // Early stopping hook.
+    if (stopper_ && stopper_(generation, result)) {
+      result.early_stopped = true;
+      break;
+    }
+    if (generation + 1 == options_.max_generations) break;
+
+    // Breed the next generation.
+    std::vector<Genome> next;
+    next.reserve(population.size());
+    // Elitism: the best individuals survive unchanged.
+    {
+      std::vector<std::size_t> order(population.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return scores[a] > scores[b];
+      });
+      for (unsigned e = 0; e < options_.elitism; ++e) {
+        next.push_back(population[order[e]]);
+      }
+    }
+    while (next.size() < options_.population) {
+      auto [parent_a, parent_b] = tournament(population, scores);
+      Genome child_a = *parent_a;
+      Genome child_b = *parent_b;
+      if (rng_.chance(options_.crossover_prob)) {
+        // Uniform crossover.
+        for (std::size_t g = 0; g < child_a.size(); ++g) {
+          if (rng_.chance(0.5)) std::swap(child_a[g], child_b[g]);
+        }
+      }
+      // With a restricted subset, concentrate the same mutation pressure
+      // on the few free genes (a masked generation should explore its
+      // subspace as vigorously as a full generation explores the space).
+      const double gene_mutation_prob =
+          subset.empty()
+              ? options_.mutation_prob
+              : std::max(options_.mutation_prob,
+                         std::min(0.5, options_.mutation_prob *
+                                           static_cast<double>(
+                                               space_.num_parameters()) /
+                                           static_cast<double>(subset.size())));
+      auto mutate = [&](Genome& genome) {
+        for (std::size_t g = 0; g < genome.size(); ++g) {
+          if (rng_.chance(gene_mutation_prob)) {
+            genome[g] = rng_.index(space_.parameter(g).domain.size());
+          }
+        }
+      };
+      mutate(child_a);
+      mutate(child_b);
+      // Impact-first masking: genes outside the subset are frozen at the
+      // elite's values, so the search only explores high-impact axes.
+      if (!subset.empty()) {
+        auto in_subset = [&](std::size_t g) {
+          return std::binary_search(subset.begin(), subset.end(), g);
+        };
+        for (std::size_t g = 0; g < child_a.size(); ++g) {
+          if (!in_subset(g)) {
+            child_a[g] = best_genome[g];
+            child_b[g] = best_genome[g];
+          }
+        }
+      }
+      next.push_back(std::move(child_a));
+      if (next.size() < options_.population) {
+        next.push_back(std::move(child_b));
+      }
+    }
+    population = std::move(next);
+    scores.assign(population.size(), 0.0);
+  }
+  return result;
+}
+
+}  // namespace tunio::tuner

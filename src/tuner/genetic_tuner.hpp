@@ -1,0 +1,112 @@
+// The genetic tuning pipeline (HSTuner-style, built on a DEAP-like loop).
+//
+// "The tuning framework is built using [DEAP] ... It is used to generate
+// the configuration, use the results of the configuration evaluation to
+// select the next generation's parents ... The tuning pipeline employs
+// elitism ... To account for [its] drawbacks, TunIO employs tournament
+// selection, a technique where three individuals are chosen randomly
+// from the population of an iteration/generation, and the best two are
+// carried forward as parents for the next generation." (§III-A)
+//
+// TunIO's components attach via two hooks:
+//   * SubsetProvider — Smart Configuration Generation: restricts the
+//     genes that crossover/mutation may touch in a generation; frozen
+//     genes keep the elite's values (impact-first search-space
+//     reduction);
+//   * Stopper — Early Stopping: consulted after every generation.
+//
+// Running without hooks *is* the HSTuner baseline.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "config/space.hpp"
+#include "tuner/objective.hpp"
+
+namespace tunio::tuner {
+
+struct GaOptions {
+  unsigned population = 16;
+  double crossover_prob = 0.9;    ///< per offspring pair
+  double mutation_prob = 0.12;    ///< per gene
+  unsigned tournament_size = 3;   ///< pick 3, best 2 become parents
+  unsigned elitism = 1;           ///< best individuals carried through
+  unsigned max_generations = 50;
+  std::uint64_t seed = 0x5EED;
+  /// Cache fitness by genome: elite individuals are not re-run.
+  bool cache_evaluations = true;
+  /// Per-gene probability of deviating from the defaults in the initial
+  /// population. H5Evolve-style seeding: generation 0 explores *around*
+  /// the stack defaults rather than uniformly at random, so discovery
+  /// effort is spread over the run instead of front-loaded.
+  double init_mutation_prob = 0.08;
+  /// Optional starting individual (domain indices). When set, individual
+  /// 0 of generation 0 is this configuration instead of the defaults —
+  /// used by interactive sessions to resume from a previous best.
+  std::optional<std::vector<std::size_t>> seed_indices;
+};
+
+/// Everything known after generation `generation` finished.
+struct GenerationStats {
+  unsigned generation = 0;
+  double generation_best_perf = 0.0;  ///< best individual this generation
+  double best_perf = 0.0;             ///< best seen so far (elitism)
+  double cumulative_seconds = 0.0;    ///< tuning budget spent so far
+  std::vector<std::size_t> subset;    ///< tuned parameter subset (empty=all)
+};
+
+struct TuningResult {
+  double initial_perf = 0.0;  ///< default configuration's perf
+  std::vector<GenerationStats> history;
+  std::optional<cfg::Configuration> best_config;
+  double best_perf = 0.0;
+  double total_seconds = 0.0;
+  unsigned generations_run = 0;
+  bool early_stopped = false;
+};
+
+/// Decides the parameter subset to tune in the coming generation.
+/// Receives the 0-based generation index and the progress so far.
+using SubsetProvider = std::function<std::vector<std::size_t>(
+    unsigned generation, const TuningResult& progress)>;
+
+/// Returns true to terminate tuning after this generation.
+using Stopper =
+    std::function<bool(unsigned generation, const TuningResult& progress)>;
+
+class GeneticTuner {
+ public:
+  GeneticTuner(const cfg::ConfigSpace& space, Objective& objective,
+               GaOptions options = {});
+
+  void set_subset_provider(SubsetProvider provider);
+  void set_stopper(Stopper stopper);
+
+  /// Runs the full tuning pipeline.
+  TuningResult run();
+
+ private:
+  using Genome = std::vector<std::size_t>;
+
+  cfg::Configuration to_config(const Genome& genome) const;
+  Genome random_genome();
+  double fitness(const Genome& genome, double* seconds);
+
+  /// Tournament: sample `tournament_size`, return the best two.
+  std::pair<const Genome*, const Genome*> tournament(
+      const std::vector<Genome>& population,
+      const std::vector<double>& scores);
+
+  const cfg::ConfigSpace& space_;
+  Objective& objective_;
+  GaOptions options_;
+  Rng rng_;
+  SubsetProvider subset_provider_;
+  Stopper stopper_;
+  std::map<Genome, double> fitness_cache_;
+};
+
+}  // namespace tunio::tuner

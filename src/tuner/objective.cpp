@@ -1,0 +1,128 @@
+#include "tuner/objective.hpp"
+
+#include "common/rng.hpp"
+#include "minic/parser.hpp"
+
+namespace tunio::tuner {
+
+namespace {
+
+/// Shared run-averaging logic for both objective flavors.
+class ObjectiveBase : public Objective {
+ public:
+  explicit ObjectiveBase(TestbedOptions testbed)
+      : testbed_(testbed), rng_(testbed.seed) {}
+
+  Evaluation evaluate(const cfg::Configuration& config) override {
+    const cfg::StackSettings settings = cfg::resolve(config);
+    Evaluation eval;
+    double perf_sum = 0.0;
+    double seconds_sum = 0.0;
+    for (unsigned run = 0; run < testbed_.runs_per_eval; ++run) {
+      mpisim::MpiSim mpi(testbed_.num_ranks);
+      pfs::PfsSimulator fs(testbed_.pfs);
+      auto [perf, seconds, detail] = run_once(mpi, fs, settings);
+      // Platform volatility: multiplicative measurement noise.
+      const double noisy =
+          perf * (1.0 + rng_.normal(0.0, testbed_.measurement_noise));
+      perf_sum += std::max(0.0, noisy);
+      seconds_sum += seconds;
+      eval.detail = detail;
+    }
+    eval.perf_mbps = perf_sum / testbed_.runs_per_eval;
+    // Only one run's time is billed to the budget (see header comment),
+    // plus the fixed per-evaluation launch overhead.
+    eval.eval_seconds =
+        seconds_sum / testbed_.runs_per_eval + testbed_.launch_overhead_seconds;
+    ++evaluations_;
+    return eval;
+  }
+
+  std::uint64_t evaluations() const override { return evaluations_; }
+
+ protected:
+  struct RunOutcome {
+    double perf_mbps;
+    SimSeconds seconds;
+    trace::PerfResult detail;
+  };
+  virtual RunOutcome run_once(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
+                              const cfg::StackSettings& settings) = 0;
+
+  TestbedOptions testbed_;
+  Rng rng_;
+  std::uint64_t evaluations_ = 0;
+};
+
+class WorkloadObjective final : public ObjectiveBase {
+ public:
+  WorkloadObjective(std::shared_ptr<const wl::Workload> workload,
+                    TestbedOptions testbed, wl::RunOptions run_options)
+      : ObjectiveBase(testbed),
+        workload_(std::move(workload)),
+        run_options_(std::move(run_options)) {}
+
+  std::string name() const override { return workload_->name(); }
+
+ protected:
+  RunOutcome run_once(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
+                      const cfg::StackSettings& settings) override {
+    const wl::RunResult result =
+        workload_->run(mpi, fs, settings, run_options_);
+    return {result.perf.perf_mbps, result.sim_seconds, result.perf};
+  }
+
+ private:
+  std::shared_ptr<const wl::Workload> workload_;
+  wl::RunOptions run_options_;
+};
+
+class KernelObjective final : public ObjectiveBase {
+ public:
+  KernelObjective(const minic::Program& program, TestbedOptions testbed,
+                  interp::InterpOptions interp_options)
+      : ObjectiveBase(testbed), interp_options_(std::move(interp_options)) {
+    for (const minic::Function& fn : program.functions) {
+      minic::Function copy;
+      copy.return_type = fn.return_type;
+      copy.name = fn.name;
+      copy.params = fn.params;
+      copy.line = fn.line;
+      copy.body = minic::clone(*fn.body);
+      program_.functions.push_back(std::move(copy));
+    }
+    program_.next_stmt_id = program.next_stmt_id;
+  }
+
+  std::string name() const override { return "minic-program"; }
+
+ protected:
+  RunOutcome run_once(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
+                      const cfg::StackSettings& settings) override {
+    const interp::InterpResult result =
+        interp::execute(program_, mpi, fs, settings, interp_options_);
+    return {result.perf.perf_mbps, result.sim_seconds, result.perf};
+  }
+
+ private:
+  minic::Program program_;
+  interp::InterpOptions interp_options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Objective> make_workload_objective(
+    std::shared_ptr<const wl::Workload> workload, TestbedOptions testbed,
+    wl::RunOptions run_options) {
+  return std::make_unique<WorkloadObjective>(std::move(workload), testbed,
+                                             std::move(run_options));
+}
+
+std::unique_ptr<Objective> make_kernel_objective(
+    const minic::Program& program, TestbedOptions testbed,
+    interp::InterpOptions interp_options) {
+  return std::make_unique<KernelObjective>(program, testbed,
+                                           std::move(interp_options));
+}
+
+}  // namespace tunio::tuner

@@ -1,0 +1,65 @@
+// Configuration evaluation: the fitness function of the tuning pipeline.
+//
+// An `Objective` runs the application (or its I/O kernel) on a freshly
+// provisioned simulated testbed under one configuration and reports the
+// paper's `perf` plus the simulated time the evaluation cost. Following
+// the paper's methodology, each evaluation averages `runs_per_eval`
+// runs (3 on Cori, "to mitigate the volatility of the platform") while
+// billing only a single run's time to the tuning budget ("the time cost
+// of running the application is not accumulated across runs").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "config/space.hpp"
+#include "config/stack_settings.hpp"
+#include "interp/interp.hpp"
+#include "minic/ast.hpp"
+#include "trace/meter.hpp"
+#include "workloads/workload.hpp"
+
+namespace tunio::tuner {
+
+/// Result of evaluating one configuration.
+struct Evaluation {
+  double perf_mbps = 0.0;        ///< averaged objective
+  SimSeconds eval_seconds = 0.0; ///< tuning-budget cost of this evaluation
+  trace::PerfResult detail;      ///< last run's full metering
+};
+
+/// Simulated testbed description (the paper's 4-node/128-process rig).
+struct TestbedOptions {
+  unsigned num_ranks = 128;
+  pfs::PfsProfile pfs;
+  unsigned runs_per_eval = 3;
+  /// Relative measurement noise per run (platform volatility).
+  double measurement_noise = 0.02;
+  /// Fixed cost billed per evaluation regardless of the application's
+  /// runtime: job launch, srun spin-up, configuration injection. This is
+  /// why even a near-instant I/O kernel cannot make evaluations free.
+  SimSeconds launch_overhead_seconds = 30.0;
+  std::uint64_t seed = 0xC0'FFEE;
+};
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  virtual std::string name() const = 0;
+  virtual Evaluation evaluate(const cfg::Configuration& config) = 0;
+  /// Total evaluations performed so far.
+  virtual std::uint64_t evaluations() const = 0;
+};
+
+/// Evaluates a native workload driver.
+std::unique_ptr<Objective> make_workload_objective(
+    std::shared_ptr<const wl::Workload> workload, TestbedOptions testbed = {},
+    wl::RunOptions run_options = {});
+
+/// Evaluates a mini-C program (full application or discovered kernel)
+/// through the interpreter.
+std::unique_ptr<Objective> make_kernel_objective(
+    const minic::Program& program, TestbedOptions testbed = {},
+    interp::InterpOptions interp_options = {});
+
+}  // namespace tunio::tuner

@@ -1,0 +1,28 @@
+#include "tuner/stoppers.hpp"
+
+namespace tunio::tuner {
+
+Stopper make_heuristic_stopper(double threshold, unsigned window) {
+  return [threshold, window](unsigned generation,
+                             const TuningResult& progress) {
+    if (generation + 1 <= window) return false;
+    const auto& history = progress.history;
+    const double now = history.back().best_perf;
+    const double then =
+        history[history.size() - 1 - window].best_perf;
+    if (then <= 0.0) return false;
+    return (now - then) / then < threshold;
+  };
+}
+
+Stopper make_max_performance_stopper(double target_perf) {
+  return [target_perf](unsigned, const TuningResult& progress) {
+    return progress.best_perf >= target_perf;
+  };
+}
+
+Stopper make_no_stopper() {
+  return [](unsigned, const TuningResult&) { return false; };
+}
+
+}  // namespace tunio::tuner

@@ -1,0 +1,127 @@
+// FLASH-IO: the checkpoint/plotfile kernel of the FLASH astrophysics
+// code.
+//
+// FLASH writes adaptive-mesh blocks into many chunked datasets: each rank
+// owns `blocks_per_rank` blocks, interleaved across ranks inside every
+// dataset (rank r writes blocks r, r+P, r+2P, ...). A checkpoint touches
+// `checkpoint_datasets` datasets (the "unknowns" plus grid metadata), a
+// plotfile a few smaller ones — making FLASH the metadata- and
+// chunk-heavy member of the workload suite.
+#include <sstream>
+
+#include "hdf5lite/file.hpp"
+#include "workloads/detail.hpp"
+#include "workloads/workload.hpp"
+
+namespace tunio::wl {
+
+namespace {
+
+class FlashWorkload final : public Workload {
+ public:
+  explicit FlashWorkload(FlashParams params) : params_(params) {}
+
+  std::string name() const override { return "FLASH-IO"; }
+  double design_alpha() const override { return 1.0; }
+
+  RunResult run(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
+                const cfg::StackSettings& settings,
+                const RunOptions& options) const override {
+    const unsigned blocks =
+        detail::reduce_iterations(params_.blocks_per_rank, options.loop_scale);
+    const double extrapolate =
+        detail::extrapolation_factor(params_.blocks_per_rank, blocks);
+
+    trace::RunMeter meter(mpi, fs);
+    meter.begin();
+    const SimSeconds start = mpi.max_clock();
+
+    meter.phase_begin(trace::Phase::kOther);
+    detail::compute_phase(
+        mpi, params_.compute_seconds_per_step * options.compute_scale,
+        /*salt=*/7);
+
+    meter.phase_begin(trace::Phase::kWrite);
+    const Bytes elem = 8;  // double-precision unknowns
+    const std::uint64_t block_elems = params_.block_bytes / elem;
+    const std::uint64_t dataset_elems =
+        block_elems * blocks * mpi.size();
+
+    // Checkpoint file: every "unknown" variable is one chunked dataset
+    // whose chunk is exactly one block.
+    {
+      h5::File file(mpi, fs, options.path_prefix + "_flash_chk.h5",
+                    settings.fapl, settings.mpiio,
+                    detail::create_options(settings, options));
+      h5::DatasetCreateProps dcpl;
+      dcpl.chunk_elements = block_elems;
+      for (unsigned d = 0; d < params_.checkpoint_datasets; ++d) {
+        std::ostringstream name;
+        name << "unk" << d;
+        h5::Dataset& ds = file.create_dataset(name.str(), elem, dataset_elems,
+                                              dcpl, settings.chunk_cache);
+        // Blocks are interleaved across ranks: block b of rank r sits at
+        // global block index b*P + r.
+        for (unsigned b = 0; b < blocks; ++b) {
+          std::vector<h5::Selection> selections;
+          selections.reserve(mpi.size());
+          for (unsigned r = 0; r < mpi.size(); ++r) {
+            const std::uint64_t global_block =
+                static_cast<std::uint64_t>(b) * mpi.size() + r;
+            selections.push_back({r, global_block * block_elems, block_elems});
+          }
+          ds.write(selections, h5::TransferProps{/*collective=*/true});
+        }
+      }
+      file.close();
+    }
+
+    // Plotfile: fewer, smaller (single-precision, quarter-size) datasets.
+    {
+      h5::File file(mpi, fs, options.path_prefix + "_flash_plt.h5",
+                    settings.fapl, settings.mpiio,
+                    detail::create_options(settings, options));
+      const std::uint64_t plot_block = block_elems / 4;
+      h5::DatasetCreateProps dcpl;
+      dcpl.chunk_elements = plot_block;
+      for (unsigned d = 0; d < params_.plotfile_datasets; ++d) {
+        std::ostringstream name;
+        name << "plot" << d;
+        h5::Dataset& ds =
+            file.create_dataset(name.str(), 4, plot_block * blocks * mpi.size(),
+                                dcpl, settings.chunk_cache);
+        for (unsigned b = 0; b < blocks; ++b) {
+          std::vector<h5::Selection> selections;
+          selections.reserve(mpi.size());
+          for (unsigned r = 0; r < mpi.size(); ++r) {
+            const std::uint64_t global_block =
+                static_cast<std::uint64_t>(b) * mpi.size() + r;
+            selections.push_back({r, global_block * plot_block, plot_block});
+          }
+          ds.write(selections, h5::TransferProps{/*collective=*/true});
+        }
+      }
+      file.close();
+    }
+
+    RunResult result;
+    result.perf = meter.end();
+    result.sim_seconds = mpi.max_clock() - start;
+    result.predicted_bytes_written =
+        static_cast<double>(result.perf.counters.bytes_written) * extrapolate;
+    result.predicted_write_ops =
+        static_cast<double>(result.perf.counters.write_ops) * extrapolate;
+    return result;
+  }
+
+ private:
+  FlashParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_flash(FlashParams params) {
+  return std::make_unique<FlashWorkload>(params);
+}
+
+}  // namespace tunio::wl

@@ -1,0 +1,102 @@
+// MACSio: the Multi-purpose, Application-Centric, Scalable I/O proxy.
+//
+// MACSio is a workload *generator*: it emits configurable dump cycles of
+// part-sized writes interleaved with compute. Per the paper (§IV-A), the
+// compute-to-I/O ratio here is baselined on observed VPIC Dipole runs.
+// MACSio also writes per-dump log/status lines — small incidental writes
+// that are exactly the "trivial writes" the Application I/O Discovery
+// component strips when it reduces the program to its I/O kernel.
+#include <sstream>
+
+#include "hdf5lite/file.hpp"
+#include "workloads/detail.hpp"
+#include "workloads/workload.hpp"
+
+namespace tunio::wl {
+
+namespace {
+
+class MacsioWorkload final : public Workload {
+ public:
+  explicit MacsioWorkload(MacsioParams params) : params_(params) {}
+
+  std::string name() const override { return "MACSio"; }
+  double design_alpha() const override { return 1.0; }
+
+  RunResult run(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
+                const cfg::StackSettings& settings,
+                const RunOptions& options) const override {
+    const unsigned dumps =
+        detail::reduce_iterations(params_.num_dumps, options.loop_scale);
+    const double extrapolate =
+        detail::extrapolation_factor(params_.num_dumps, dumps);
+
+    trace::RunMeter meter(mpi, fs);
+    meter.begin();
+    const SimSeconds start = mpi.max_clock();
+
+    const std::uint64_t parts_per_rank =
+        params_.bytes_per_rank_per_dump / params_.part_bytes;
+    const Bytes elem = 8;
+    const std::uint64_t part_elems = params_.part_bytes / elem;
+    const std::uint64_t dump_elems =
+        part_elems * parts_per_rank * mpi.size();
+    const std::string log_path = options.path_prefix + "_macsio.log";
+
+    for (unsigned dump = 0; dump < dumps; ++dump) {
+      meter.phase_begin(trace::Phase::kOther);
+      detail::compute_phase(
+          mpi, params_.compute_seconds_per_dump * options.compute_scale,
+          /*salt=*/dump);
+
+      meter.phase_begin(trace::Phase::kWrite);
+      std::ostringstream path;
+      path << options.path_prefix << "_macsio_" << dump << ".h5";
+      h5::File file(mpi, fs, path.str(), settings.fapl, settings.mpiio,
+                    detail::create_options(settings, options));
+      h5::DatasetCreateProps dcpl;
+      dcpl.chunk_elements = part_elems;
+      h5::Dataset& ds = file.create_dataset("mesh", elem, dump_elems, dcpl,
+                                            settings.chunk_cache);
+      // Each rank writes its parts; parts of a rank are contiguous.
+      for (std::uint64_t p = 0; p < parts_per_rank; ++p) {
+        std::vector<h5::Selection> selections;
+        selections.reserve(mpi.size());
+        for (unsigned r = 0; r < mpi.size(); ++r) {
+          const std::uint64_t base =
+              (static_cast<std::uint64_t>(r) * parts_per_rank + p) *
+              part_elems;
+          selections.push_back({r, base, part_elems});
+        }
+        ds.write(selections, h5::TransferProps{/*collective=*/true});
+      }
+      file.close();
+
+      if (options.include_log_writes) {
+        for (unsigned l = 0; l < params_.log_writes_per_dump; ++l) {
+          detail::log_write(mpi, fs, log_path, params_.log_write_bytes);
+        }
+      }
+    }
+
+    RunResult result;
+    result.perf = meter.end();
+    result.sim_seconds = mpi.max_clock() - start;
+    result.predicted_bytes_written =
+        static_cast<double>(result.perf.counters.bytes_written) * extrapolate;
+    result.predicted_write_ops =
+        static_cast<double>(result.perf.counters.write_ops) * extrapolate;
+    return result;
+  }
+
+ private:
+  MacsioParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_macsio(MacsioParams params) {
+  return std::make_unique<MacsioWorkload>(params);
+}
+
+}  // namespace tunio::wl

@@ -1,0 +1,191 @@
+#include "workloads/sources.hpp"
+
+namespace tunio::wl::sources {
+
+std::string macsio_vpic() {
+  return R"SRC(
+int write_dump(int step, int np)
+{
+  string path = "/scratch/macsio_" + step + ".h5";
+  int file = h5fcreate(path);
+  h5set_chunking(131072);
+  int parts = 8;
+  int ds = h5dcreate(file, "mesh", 8, np * parts * mpi_size());
+  for (int p = 0; p < parts; p = p + 1)
+  {
+    h5dwrite_strided(ds, p, np);
+  }
+  h5dclose(ds);
+  h5fclose(file);
+  return 0;
+}
+
+int main()
+{
+  int num_dumps = 10;
+  int part_elems = 131072;
+  double t = 0.0;
+  double dt = 0.125;
+  double energy = 0.0;
+  int rc = 0;
+  for (int d = 0; d < num_dumps; d = d + 1)
+  {
+    double work = 2.0;
+    compute(work);
+    t = t + dt;
+    energy = energy + t * 0.5;
+    int checksum = d * 7 % 13;
+    rc = write_dump(d, part_elems);
+    for (int l = 0; l < 256; l = l + 1)
+    {
+      fprintf_log("/scratch/macsio.log", 512);
+    }
+    checksum = checksum + 1;
+  }
+  return rc;
+}
+)SRC";
+}
+
+std::string vpic() {
+  return R"SRC(
+int main()
+{
+  int np = 524288;
+  int timesteps = 2;
+  double t = 0.0;
+  double dt = 0.01;
+  int rc = 0;
+  for (int step = 0; step < timesteps; step = step + 1)
+  {
+    double push_work = 8.0;
+    compute(push_work);
+    t = t + dt;
+    string path = "/scratch/vpic_t" + step + ".h5";
+    int file = h5fcreate(path);
+    int total = np * mpi_size();
+    for (int v = 0; v < 8; v = v + 1)
+    {
+      int elem = 4;
+      if (v == 7)
+      {
+        elem = 8;
+      }
+      int ds = h5dcreate(file, "var" + v, elem, total);
+      h5dwrite_all(ds, np);
+      h5dclose(ds);
+    }
+    h5fclose(file);
+    fprintf_log("/scratch/vpic.log", 256);
+  }
+  return rc;
+}
+)SRC";
+}
+
+std::string flash() {
+  return R"SRC(
+int main()
+{
+  int blocks = 8;
+  int block_elems = 12288;
+  int datasets = 12;
+  double sim_time = 0.0;
+  compute(5.0);
+  int file = h5fcreate("/scratch/flash_chk.h5");
+  h5set_chunking(12288);
+  for (int d = 0; d < datasets; d = d + 1)
+  {
+    int total = block_elems * blocks * mpi_size();
+    int ds = h5dcreate(file, "unk" + d, 8, total);
+    for (int b = 0; b < blocks; b = b + 1)
+    {
+      h5dwrite_strided(ds, b, block_elems);
+    }
+    h5dclose(ds);
+  }
+  h5fclose(file);
+  sim_time = sim_time + 1.0;
+  int plot = h5fcreate("/scratch/flash_plt.h5");
+  h5set_chunking(3072);
+  for (int d = 0; d < 4; d = d + 1)
+  {
+    int ptotal = 3072 * blocks * mpi_size();
+    int ds = h5dcreate(plot, "plot" + d, 4, ptotal);
+    for (int b = 0; b < blocks; b = b + 1)
+    {
+      h5dwrite_strided(ds, b, 3072);
+    }
+    h5dclose(ds);
+  }
+  h5fclose(plot);
+  fprintf_log("/scratch/flash.log", 400);
+  return 0;
+}
+)SRC";
+}
+
+std::string hacc() {
+  return R"SRC(
+int main()
+{
+  int np = 1048576;
+  double gravity_work = 6.0;
+  compute(gravity_work);
+  int file = h5fcreate("/scratch/hacc.h5");
+  int total = np * mpi_size();
+  for (int v = 0; v < 9; v = v + 1)
+  {
+    int elem = 4;
+    if (v == 7)
+    {
+      elem = 8;
+    }
+    if (v == 8)
+    {
+      elem = 2;
+    }
+    int ds = h5dcreate(file, "var" + v, elem, total);
+    h5dwrite_all(ds, np);
+    h5dclose(ds);
+  }
+  h5fclose(file);
+  return 0;
+}
+)SRC";
+}
+
+std::string bdcats() {
+  return R"SRC(
+int main()
+{
+  int np = 1048576;
+  int rounds = 4;
+  int total = np * mpi_size();
+  int input = h5fopen("/scratch/bdcats_in.h5");
+  int x = h5dcreate(input, "x", 4, total);
+  int y = h5dcreate(input, "y", 4, total);
+  int z = h5dcreate(input, "z", 4, total);
+  h5dwrite_all(x, np);
+  h5dwrite_all(y, np);
+  h5dwrite_all(z, np);
+  for (int round = 0; round < rounds; round = round + 1)
+  {
+    h5dread_all(x, np);
+    h5dread_all(y, np);
+    h5dread_all(z, np);
+    double cluster_work = 10.0;
+    compute(cluster_work);
+    fprintf_log("/scratch/bdcats.log", 128);
+  }
+  int out = h5fcreate("/scratch/bdcats_out.h5");
+  int ids = h5dcreate(out, "cluster_ids", 4, 65536 * mpi_size());
+  h5dwrite_all(ids, 65536);
+  h5fclose(out);
+  h5fclose(input);
+  return 0;
+}
+)SRC";
+}
+
+}  // namespace tunio::wl::sources

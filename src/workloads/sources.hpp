@@ -1,0 +1,31 @@
+// Mini-C sources of the workload applications.
+//
+// These are the programs Application I/O Discovery operates on: full
+// applications with compute phases, diagnostics, logging, and I/O mixed
+// together, as in the paper's Figure 5 example. The interpreter can run
+// both the full program and the kernel that discovery extracts from it,
+// which is how the Fig. 8 experiments measure kernel fidelity.
+#pragma once
+
+#include <string>
+
+namespace tunio::wl::sources {
+
+/// MACSio baselined on the VPIC Dipole compute:I/O ratio (the workload of
+/// the Fig. 8 experiments): dump loop with compute, diagnostics,
+/// per-dump status logging, and a chunked HDF5 dump per cycle.
+std::string macsio_vpic();
+
+/// VPIC-IO particle dump: 8 variables, collective slab writes.
+std::string vpic();
+
+/// FLASH-IO checkpoint: block-strided writes into chunked datasets.
+std::string flash();
+
+/// HACC-IO checkpoint: large contiguous slab writes, 9 variables.
+std::string hacc();
+
+/// BD-CATS: read-dominated clustering over particle coordinates.
+std::string bdcats();
+
+}  // namespace tunio::wl::sources

@@ -1,0 +1,64 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/detail.hpp"
+
+namespace tunio::wl::detail {
+
+double jitter(unsigned rank, unsigned salt) {
+  // SplitMix64-style hash of (rank, salt) -> [0.97, 1.03].
+  std::uint64_t z = (static_cast<std::uint64_t>(rank) << 32) ^ salt;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z % 10000) / 10000.0;
+  return 0.97 + 0.06 * unit;
+}
+
+unsigned reduce_iterations(unsigned original, double loop_scale) {
+  if (loop_scale >= 1.0) return original;
+  const double scaled = std::round(static_cast<double>(original) * loop_scale);
+  return std::max(1u, static_cast<unsigned>(scaled));
+}
+
+double extrapolation_factor(unsigned original, unsigned reduced) {
+  return static_cast<double>(original) / static_cast<double>(reduced);
+}
+
+pfs::CreateOptions create_options(const cfg::StackSettings& settings,
+                                  const RunOptions& options) {
+  pfs::CreateOptions create = settings.lustre;
+  if (options.memory_tier) create.tier = pfs::Tier::kMemory;
+  return create;
+}
+
+void compute_phase(mpisim::MpiSim& mpi, double seconds, unsigned salt) {
+  if (seconds <= 0.0) return;
+  for (unsigned r = 0; r < mpi.size(); ++r) {
+    mpi.compute(r, seconds * jitter(r, salt));
+  }
+  mpi.barrier();
+}
+
+void log_write(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
+               const std::string& log_path, Bytes bytes) {
+  if (!fs.exists(log_path)) {
+    // Logs bypass striping: single-stripe files, as fopen would produce.
+    pfs::CreateOptions opts;
+    opts.stripe_count = 1;
+    fs.create(log_path, mpi.clock(0), opts);
+  }
+  // Buffered stdio: the bytes are staged and flushed asynchronously, so
+  // the writer only pays a library-call cost — but the operation and its
+  // bytes still reach the filesystem (and its counters), which is what
+  // Darshan-style monitoring sees.
+  const Bytes offset = fs.file_size(log_path);
+  const SimSeconds issued = mpi.clock(0);
+  fs.write(log_path, issued, offset, bytes);  // completion not awaited
+  mpi.compute(0, 5e-6);
+}
+
+}  // namespace tunio::wl::detail

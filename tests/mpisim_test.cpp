@@ -1,0 +1,99 @@
+// Tests for the simulated MPI runtime.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mpisim/mpisim.hpp"
+
+namespace tunio::mpisim {
+namespace {
+
+TEST(MpiSim, RankCountAndNodes) {
+  MpiSim mpi(128);
+  EXPECT_EQ(mpi.size(), 128u);
+  EXPECT_EQ(mpi.num_nodes(), 4u);  // 32 ranks/node
+  MpiSim small(5);
+  EXPECT_EQ(small.num_nodes(), 1u);
+  EXPECT_THROW(MpiSim(0), Error);
+}
+
+TEST(MpiSim, ComputeAdvancesOneRankOnly) {
+  MpiSim mpi(4);
+  mpi.compute(2, 1.5);
+  EXPECT_DOUBLE_EQ(mpi.clock(2), 1.5);
+  EXPECT_DOUBLE_EQ(mpi.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(mpi.max_clock(), 1.5);
+  EXPECT_DOUBLE_EQ(mpi.min_clock(), 0.0);
+  EXPECT_THROW(mpi.compute(2, -1.0), Error);
+  EXPECT_THROW(mpi.compute(99, 1.0), Error);
+}
+
+TEST(MpiSim, BarrierSynchronizesToMax) {
+  MpiSim mpi(8);
+  mpi.compute(3, 5.0);
+  mpi.barrier();
+  for (unsigned r = 0; r < mpi.size(); ++r) {
+    EXPECT_GE(mpi.clock(r), 5.0);
+    EXPECT_DOUBLE_EQ(mpi.clock(r), mpi.clock(0));
+  }
+  // Barrier latency is positive but small.
+  EXPECT_LT(mpi.clock(0), 5.0 + 1e-3);
+}
+
+TEST(MpiSim, AllreduceCostsMoreThanBarrier) {
+  MpiSim a(64), b(64);
+  a.barrier();
+  b.allreduce(1 * MiB);
+  EXPECT_GT(b.max_clock(), a.max_clock());
+}
+
+TEST(MpiSim, GatherAdvancesRootBeyondOthers) {
+  MpiSim mpi(16);
+  mpi.gather(0, 1 * MiB);
+  EXPECT_GT(mpi.clock(0), mpi.clock(1));
+}
+
+TEST(MpiSim, BroadcastLiftsEveryRank) {
+  MpiSim mpi(16);
+  mpi.compute(0, 2.0);
+  mpi.broadcast(0, 4 * KiB);
+  for (unsigned r = 0; r < mpi.size(); ++r) {
+    EXPECT_GT(mpi.clock(r), 2.0);
+  }
+  EXPECT_THROW(mpi.broadcast(99, 1), Error);
+}
+
+TEST(MpiSim, SendRespectsCausality) {
+  MpiSim mpi(4);
+  mpi.compute(0, 3.0);
+  mpi.send(0, 1, 1 * MiB);
+  EXPECT_GT(mpi.clock(1), 3.0);  // message can't arrive before it was sent
+  // A send to an already-late rank doesn't rewind it.
+  mpi.compute(2, 100.0);
+  mpi.send(0, 2, 1);
+  EXPECT_GE(mpi.clock(2), 100.0);
+}
+
+TEST(MpiSim, ResetZeroesClocks) {
+  MpiSim mpi(4);
+  mpi.compute(0, 9.0);
+  mpi.reset();
+  EXPECT_DOUBLE_EQ(mpi.max_clock(), 0.0);
+}
+
+/// Property: barrier leave time scales (weakly) with log of rank count.
+class BarrierScaling : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BarrierScaling, LeaveTimeBoundedAndSynchronized) {
+  MpiSim mpi(GetParam());
+  mpi.compute(0, 1.0);
+  mpi.barrier();
+  EXPECT_GE(mpi.min_clock(), 1.0);
+  EXPECT_DOUBLE_EQ(mpi.min_clock(), mpi.max_clock());
+  EXPECT_LT(mpi.max_clock(), 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, BarrierScaling,
+                         ::testing::Values(1u, 2u, 16u, 128u, 1600u));
+
+}  // namespace
+}  // namespace tunio::mpisim

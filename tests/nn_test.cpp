@@ -1,0 +1,174 @@
+// Tests for the neural-network module: matrices, dense nets (function
+// approximation), PCA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/dense_net.hpp"
+#include "nn/matrix.hpp"
+#include "nn/pca.hpp"
+
+namespace tunio::nn {
+namespace {
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const auto y = m.multiply({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const auto yt = m.multiply_transposed({1.0, 1.0});
+  ASSERT_EQ(yt.size(), 3u);
+  EXPECT_DOUBLE_EQ(yt[0], 5.0);
+  EXPECT_DOUBLE_EQ(yt[1], 7.0);
+  EXPECT_DOUBLE_EQ(yt[2], 9.0);
+  EXPECT_THROW(m.multiply({1.0}), Error);
+  EXPECT_THROW(m.multiply_transposed({1.0, 2.0, 3.0}), Error);
+}
+
+TEST(DenseNet, ShapeValidation) {
+  Rng rng(1);
+  EXPECT_THROW(DenseNet({4}, rng), Error);
+  DenseNet net({4, 8, 2}, rng);
+  EXPECT_EQ(net.input_size(), 4u);
+  EXPECT_EQ(net.output_size(), 2u);
+  EXPECT_THROW(net.forward({1.0, 2.0}), Error);
+  EXPECT_THROW(net.train({1, 2, 3, 4}, {1.0}), Error);
+}
+
+TEST(DenseNet, LearnsLinearFunction) {
+  Rng rng(7);
+  DenseNet net({2, 16, 1}, rng, {5e-3});
+  Rng data(11);
+  double final_mse = 1e9;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    double mse = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      const double a = data.uniform(-1, 1);
+      const double b = data.uniform(-1, 1);
+      mse += net.train({a, b}, {0.5 * a - 0.25 * b + 0.1});
+    }
+    final_mse = mse / 16;
+  }
+  EXPECT_LT(final_mse, 1e-3);
+  const double pred = net.forward({0.5, -0.5})[0];
+  EXPECT_NEAR(pred, 0.5 * 0.5 + 0.25 * 0.5 + 0.1, 0.05);
+}
+
+TEST(DenseNet, LearnsXor) {
+  Rng rng(3);
+  DenseNet net({2, 12, 12, 1}, rng, {8e-3});
+  const std::vector<std::vector<double>> xs{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<std::vector<double>> ys{{0}, {1}, {1}, {0}};
+  double mse = 1e9;
+  for (int epoch = 0; epoch < 1200; ++epoch) {
+    mse = net.train_epoch(xs, ys);
+  }
+  EXPECT_LT(mse, 0.02);
+  EXPECT_LT(net.forward({0, 0})[0], 0.3);
+  EXPECT_GT(net.forward({0, 1})[0], 0.7);
+  EXPECT_GT(net.forward({1, 0})[0], 0.7);
+  EXPECT_LT(net.forward({1, 1})[0], 0.3);
+}
+
+TEST(DenseNet, TrainOutputUpdatesSingleHead) {
+  Rng rng(5);
+  DenseNet net({2, 8, 3}, rng, {1e-2});
+  for (int i = 0; i < 500; ++i) {
+    net.train_output({1.0, 0.0}, 1, 0.75);
+  }
+  EXPECT_NEAR(net.forward({1.0, 0.0})[1], 0.75, 0.05);
+}
+
+TEST(DenseNet, EmbeddingHasHiddenWidth) {
+  Rng rng(9);
+  DenseNet net({4, 10, 6, 2}, rng);
+  std::vector<double> embedding;
+  net.forward_with_embedding({1, 2, 3, 4}, &embedding);
+  EXPECT_EQ(embedding.size(), 6u);
+  // ReLU hidden activations are non-negative.
+  for (double v : embedding) EXPECT_GE(v, 0.0);
+}
+
+TEST(DenseNet, SoftUpdateMovesTowardSource) {
+  // A single-layer net is linear in its parameters, so averaging the
+  // weights exactly averages the outputs (with ReLU stacks it need not).
+  Rng rng(13);
+  DenseNet a({2, 1}, rng);
+  DenseNet b({2, 1}, rng);
+  const double before = std::abs(a.forward({1, 1})[0] - b.forward({1, 1})[0]);
+  a.soft_update_from(b, 0.5);
+  const double after = std::abs(a.forward({1, 1})[0] - b.forward({1, 1})[0]);
+  EXPECT_NEAR(after, before / 2.0, 1e-9);
+  a.copy_from(b);
+  EXPECT_NEAR(a.forward({1, 1})[0], b.forward({1, 1})[0], 1e-12);
+  // Mismatched architectures are rejected.
+  DenseNet c({3, 1}, rng);
+  EXPECT_THROW(a.soft_update_from(c, 0.5), Error);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points along y = 2x with small noise: the first component should be
+  // ~(1, 2)/sqrt(5).
+  Rng rng(21);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 400; ++i) {
+    const double t = rng.uniform(-1, 1);
+    samples.push_back({t + rng.normal(0, 0.01), 2 * t + rng.normal(0, 0.01)});
+  }
+  const PcaResult pca = pca_fit(samples);
+  ASSERT_EQ(pca.components.size(), 2u);
+  EXPECT_GT(pca.eigenvalues[0], pca.eigenvalues[1] * 50);
+  const auto& c = pca.components[0];
+  const double ratio = std::abs(c[1] / c[0]);
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+  // Components are unit length.
+  EXPECT_NEAR(c[0] * c[0] + c[1] * c[1], 1.0, 1e-6);
+}
+
+TEST(Pca, EigenvaluesSortedDescending) {
+  Rng rng(22);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back({rng.normal(0, 3.0), rng.normal(0, 1.0),
+                       rng.normal(0, 0.1)});
+  }
+  const PcaResult pca = pca_fit(samples);
+  for (std::size_t k = 1; k < pca.eigenvalues.size(); ++k) {
+    EXPECT_GE(pca.eigenvalues[k - 1], pca.eigenvalues[k]);
+  }
+  // Variances roughly match the generating stddevs squared.
+  EXPECT_NEAR(pca.eigenvalues[0], 9.0, 2.5);
+  EXPECT_NEAR(pca.eigenvalues[1], 1.0, 0.5);
+}
+
+TEST(Pca, ImportanceHighlightsVaryingDimension) {
+  Rng rng(23);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back({rng.normal(0, 5.0), rng.normal(0, 0.1)});
+  }
+  const auto importance = pca_importance(pca_fit(samples));
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[0], importance[1]);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(Pca, RejectsDegenerateInput) {
+  EXPECT_THROW(pca_fit({}), Error);
+  EXPECT_THROW(pca_fit({{1.0, 2.0}, {1.0}}), Error);
+}
+
+TEST(Pca, ConstantDataHasZeroEigenvalues) {
+  std::vector<std::vector<double>> samples(10, {3.0, 3.0});
+  const PcaResult pca = pca_fit(samples);
+  for (double ev : pca.eigenvalues) EXPECT_NEAR(ev, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tunio::nn

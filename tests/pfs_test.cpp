@@ -1,0 +1,284 @@
+// Tests for the Lustre-like PFS simulator: stripe layout math, cost-model
+// behaviour, contention, tiers, and counters.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pfs/layout.hpp"
+#include "pfs/pfs.hpp"
+
+namespace tunio::pfs {
+namespace {
+
+TEST(StripeLayout, SingleStripeIsIdentity) {
+  StripeLayout layout(1 * MiB, 1, 0, 8);
+  const auto pieces = layout.split(0, 10 * MiB);
+  ASSERT_EQ(pieces.size(), 1u);  // coalesced: all on the same OST
+  EXPECT_EQ(pieces[0].ost, 0u);
+  EXPECT_EQ(pieces[0].object_offset, 0u);
+  EXPECT_EQ(pieces[0].length, 10 * MiB);
+}
+
+TEST(StripeLayout, RoundRobinAcrossOsts) {
+  StripeLayout layout(1 * MiB, 4, 0, 8);
+  EXPECT_EQ(layout.ost_for(0), 0u);
+  EXPECT_EQ(layout.ost_for(1 * MiB), 1u);
+  EXPECT_EQ(layout.ost_for(3 * MiB), 3u);
+  EXPECT_EQ(layout.ost_for(4 * MiB), 0u);  // wraps
+}
+
+TEST(StripeLayout, OstOffsetShiftsPlacement) {
+  StripeLayout layout(1 * MiB, 4, 6, 8);
+  EXPECT_EQ(layout.ost_for(0), 6u);
+  EXPECT_EQ(layout.ost_for(1 * MiB), 7u);
+  EXPECT_EQ(layout.ost_for(2 * MiB), 0u);  // wraps the pool
+}
+
+TEST(StripeLayout, ObjectOffsets) {
+  StripeLayout layout(1 * MiB, 2, 0, 8);
+  // File offset 2 MiB = second stripe round on OST 0 -> object offset 1MiB.
+  EXPECT_EQ(layout.object_offset_for(2 * MiB), 1 * MiB);
+  EXPECT_EQ(layout.object_offset_for(2 * MiB + 123), 1 * MiB + 123);
+}
+
+TEST(StripeLayout, StripeCountClampedToPool) {
+  StripeLayout layout(1 * MiB, 64, 0, 4);
+  EXPECT_EQ(layout.stripe_count(), 4u);
+}
+
+TEST(StripeLayout, RejectsBadArgs) {
+  EXPECT_THROW(StripeLayout(0, 1, 0, 4), Error);
+  EXPECT_THROW(StripeLayout(1 * MiB, 0, 0, 4), Error);
+  EXPECT_THROW(StripeLayout(1 * MiB, 1, 0, 0), Error);
+}
+
+/// Property: splitting any extent yields pieces that exactly tile it.
+class SplitProperty
+    : public ::testing::TestWithParam<std::tuple<Bytes, unsigned>> {};
+
+TEST_P(SplitProperty, PiecesTileTheExtent) {
+  const auto [stripe_size, stripe_count] = GetParam();
+  StripeLayout layout(stripe_size, stripe_count, 1, 16);
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes offset = static_cast<Bytes>(rng.uniform_int(0, 64 * MiB));
+    const Bytes length = static_cast<Bytes>(rng.uniform_int(1, 16 * MiB));
+    const auto pieces = layout.split(offset, length);
+    ASSERT_FALSE(pieces.empty());
+    Bytes covered = 0;
+    Bytes cursor = offset;
+    for (const auto& piece : pieces) {
+      EXPECT_EQ(piece.file_offset, cursor);
+      EXPECT_EQ(piece.ost, layout.ost_for(piece.file_offset));
+      EXPECT_EQ(piece.object_offset,
+                layout.object_offset_for(piece.file_offset));
+      covered += piece.length;
+      cursor += piece.length;
+    }
+    EXPECT_EQ(covered, length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, SplitProperty,
+    ::testing::Values(std::make_tuple(Bytes{64 * KiB}, 1u),
+                      std::make_tuple(Bytes{1 * MiB}, 2u),
+                      std::make_tuple(Bytes{1 * MiB}, 8u),
+                      std::make_tuple(Bytes{4 * MiB}, 16u),
+                      std::make_tuple(Bytes{16 * MiB}, 3u)));
+
+TEST(PfsSimulator, CreateOpenRemove) {
+  PfsSimulator fs;
+  EXPECT_FALSE(fs.exists("/a"));
+  fs.create("/a", 0.0);
+  EXPECT_TRUE(fs.exists("/a"));
+  EXPECT_NO_THROW(fs.open("/a", 0.0));
+  fs.remove("/a", 0.0);
+  EXPECT_FALSE(fs.exists("/a"));
+  EXPECT_THROW(fs.open("/a", 0.0), Error);
+}
+
+TEST(PfsSimulator, WriteAdvancesTimeAndSize) {
+  PfsSimulator fs;
+  fs.create("/f", 0.0);
+  const SimSeconds done = fs.write("/f", 1.0, 0, 8 * MiB);
+  EXPECT_GT(done, 1.0);
+  EXPECT_EQ(fs.file_size("/f"), 8 * MiB);
+  EXPECT_EQ(fs.counters().writes, 1u);
+  EXPECT_EQ(fs.counters().bytes_written, 8 * MiB);
+}
+
+TEST(PfsSimulator, WiderStripingIsFasterForLargeWrites) {
+  PfsProfile profile;
+  PfsSimulator fs(profile);
+  CreateOptions narrow;
+  narrow.stripe_count = 1;
+  CreateOptions wide;
+  wide.stripe_count = 16;
+  fs.create("/narrow", 0.0, narrow);
+  const SimSeconds narrow_done = fs.write("/narrow", 0.0, 0, 256 * MiB);
+  fs.quiesce();
+  fs.create("/wide", 0.0, wide);
+  const SimSeconds wide_done = fs.write("/wide", 0.0, 0, 256 * MiB);
+  EXPECT_LT(wide_done, narrow_done);
+}
+
+TEST(PfsSimulator, UnalignedWritePaysRmw) {
+  PfsSimulator fs;
+  fs.create("/aligned", 0.0);
+  fs.create("/unaligned", 0.0);
+  // Aligned full-block write: no RMW bytes.
+  fs.write("/aligned", 0.0, 0, 1 * MiB);
+  EXPECT_EQ(fs.counters().rmw_bytes, 0u);
+  // A non-sequential partial-block write must pre-read.
+  fs.write("/unaligned", 0.0, 512 * KiB, 4 * KiB);
+  EXPECT_GT(fs.counters().rmw_bytes, 0u);
+}
+
+TEST(PfsSimulator, SequentialAppendsSkipRmw) {
+  PfsSimulator fs;
+  fs.create("/log", 0.0);
+  SimSeconds t = fs.write("/log", 0.0, 0, 512);
+  const Bytes before = fs.counters().rmw_bytes;
+  for (int i = 1; i < 50; ++i) {
+    t = fs.write("/log", t, i * 512ull, 512);
+  }
+  // Streaming appends are absorbed by the page-cache model: no pre-reads.
+  EXPECT_EQ(fs.counters().rmw_bytes, before);
+}
+
+TEST(PfsSimulator, ContentionSerializesOnOneOst) {
+  PfsProfile profile;
+  PfsSimulator fs(profile);
+  CreateOptions one;
+  one.stripe_count = 1;
+  fs.create("/hot", 0.0, one);
+  // Two writes "issued at the same time" to the same OST must serialize.
+  const SimSeconds first = fs.write("/hot", 0.0, 0, 64 * MiB);
+  const SimSeconds second = fs.write("/hot", 0.0, 64 * MiB, 64 * MiB);
+  EXPECT_GT(second, first);
+}
+
+TEST(PfsSimulator, MemoryTierBypassesOsts) {
+  PfsSimulator fs;
+  CreateOptions mem;
+  mem.tier = Tier::kMemory;
+  fs.create("/shm/f", 0.0, mem);
+  EXPECT_EQ(fs.file_tier("/shm/f"), Tier::kMemory);
+  const SimSeconds done = fs.write("/shm/f", 0.0, 0, 64 * MiB);
+  // Memory tier leaves OST timelines untouched.
+  for (const SimSeconds busy : fs.ost_busy_times()) {
+    EXPECT_DOUBLE_EQ(busy, 0.0);
+  }
+  // And it is much faster than a single-stripe disk write of this size.
+  fs.create("/disk/f", 0.0, CreateOptions{.stripe_count = 1});
+  const SimSeconds disk_done = fs.write("/disk/f", 0.0, 0, 64 * MiB);
+  EXPECT_LT(done, disk_done);
+}
+
+TEST(PfsSimulator, ReadCountersAndMissingFile) {
+  PfsSimulator fs;
+  fs.create("/r", 0.0);
+  fs.write("/r", 0.0, 0, 1 * MiB);
+  fs.read("/r", 10.0, 0, 1 * MiB);
+  EXPECT_EQ(fs.counters().reads, 1u);
+  EXPECT_EQ(fs.counters().bytes_read, 1 * MiB);
+  EXPECT_THROW(fs.read("/missing", 0.0, 0, 1), Error);
+}
+
+TEST(PfsSimulator, MetadataOpsContend) {
+  PfsSimulator fs;
+  const SimSeconds first = fs.metadata_op(0.0);
+  const SimSeconds second = fs.metadata_op(0.0);
+  EXPECT_GT(second, first);  // serialized on the MDS
+  EXPECT_EQ(fs.counters().metadata_ops, 2u);
+}
+
+TEST(PfsSimulator, ResetClearsEverything) {
+  PfsSimulator fs;
+  fs.create("/x", 0.0);
+  fs.write("/x", 0.0, 0, 1 * MiB);
+  fs.reset();
+  EXPECT_FALSE(fs.exists("/x"));
+  EXPECT_EQ(fs.counters().writes, 0u);
+  EXPECT_EQ(fs.counters().metadata_ops, 0u);
+}
+
+TEST(PfsSimulator, QuiesceKeepsFilesAndCounters) {
+  PfsSimulator fs;
+  fs.create("/x", 0.0);
+  fs.write("/x", 0.0, 0, 1 * MiB);
+  const auto writes_before = fs.counters().writes;
+  fs.quiesce();
+  EXPECT_TRUE(fs.exists("/x"));
+  EXPECT_EQ(fs.counters().writes, writes_before);
+  // Timelines rewound: a new op starts from t=0 contention-free.
+  const SimSeconds done = fs.metadata_op(0.0);
+  EXPECT_NEAR(done, fs.profile().mds.op_latency, 1e-12);
+}
+
+TEST(SizeHistogram, BucketsAndLabels) {
+  SizeHistogram h;
+  h.record(100);            // <4K
+  h.record(8 * KiB);        // 4K-64K
+  h.record(100 * KiB);      // 64K-1M
+  h.record(2 * MiB);        // 1M-16M
+  h.record(64 * MiB);       // >=16M
+  h.record(64 * MiB);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.counts[4], 2u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_STREQ(SizeHistogram::label(0), "<4K");
+  EXPECT_STREQ(SizeHistogram::label(4), ">=16M");
+  SizeHistogram other = h;
+  h -= other;
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(PfsSimulator, CountersRecordAccessSizes) {
+  PfsSimulator fs;
+  fs.create("/h", 0.0);
+  fs.write("/h", 0.0, 0, 512);
+  fs.write("/h", 0.0, 512, 8 * MiB);
+  fs.read("/h", 1.0, 0, 32 * KiB);
+  EXPECT_EQ(fs.counters().write_sizes.counts[0], 1u);
+  EXPECT_EQ(fs.counters().write_sizes.counts[3], 1u);
+  EXPECT_EQ(fs.counters().read_sizes.counts[1], 1u);
+  EXPECT_EQ(fs.counters().write_sizes.total(), 2u);
+}
+
+TEST(PfsSimulator, RoundRobinOstPlacementSpreadsFiles) {
+  PfsSimulator fs;
+  CreateOptions one;
+  one.stripe_count = 1;
+  fs.create("/a", 0.0, one);
+  fs.create("/b", 0.0, one);
+  EXPECT_NE(fs.file_layout("/a").ost_offset(),
+            fs.file_layout("/b").ost_offset());
+}
+
+/// Property: time to write N bytes is monotone non-decreasing in N.
+class PfsMonotoneProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PfsMonotoneProperty, WriteTimeMonotoneInSize) {
+  const unsigned stripes = GetParam();
+  SimSeconds previous = 0.0;
+  for (Bytes size = 1 * MiB; size <= 64 * MiB; size *= 2) {
+    PfsSimulator fs;
+    CreateOptions opts;
+    opts.stripe_count = stripes;
+    fs.create("/m", 0.0, opts);
+    const SimSeconds done = fs.write("/m", 0.0, 0, size);
+    EXPECT_GE(done, previous);
+    previous = done;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StripeCounts, PfsMonotoneProperty,
+                         ::testing::Values(1u, 2u, 8u, 32u, 64u));
+
+}  // namespace
+}  // namespace tunio::pfs
