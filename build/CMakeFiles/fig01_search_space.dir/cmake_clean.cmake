@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_search_space.dir/bench/fig01_search_space.cpp.o"
+  "CMakeFiles/fig01_search_space.dir/bench/fig01_search_space.cpp.o.d"
+  "bench/fig01_search_space"
+  "bench/fig01_search_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_tuning_curves.dir/bench/fig02_tuning_curves.cpp.o"
+  "CMakeFiles/fig02_tuning_curves.dir/bench/fig02_tuning_curves.cpp.o.d"
+  "bench/fig02_tuning_curves"
+  "bench/fig02_tuning_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tuning_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

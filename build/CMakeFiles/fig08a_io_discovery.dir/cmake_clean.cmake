@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_io_discovery.dir/bench/fig08a_io_discovery.cpp.o"
+  "CMakeFiles/fig08a_io_discovery.dir/bench/fig08a_io_discovery.cpp.o.d"
+  "bench/fig08a_io_discovery"
+  "bench/fig08a_io_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_io_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

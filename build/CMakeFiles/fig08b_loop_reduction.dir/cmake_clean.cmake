@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_loop_reduction.dir/bench/fig08b_loop_reduction.cpp.o"
+  "CMakeFiles/fig08b_loop_reduction.dir/bench/fig08b_loop_reduction.cpp.o.d"
+  "bench/fig08b_loop_reduction"
+  "bench/fig08b_loop_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_loop_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

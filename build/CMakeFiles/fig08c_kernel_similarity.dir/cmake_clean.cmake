@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08c_kernel_similarity.dir/bench/fig08c_kernel_similarity.cpp.o"
+  "CMakeFiles/fig08c_kernel_similarity.dir/bench/fig08c_kernel_similarity.cpp.o.d"
+  "bench/fig08c_kernel_similarity"
+  "bench/fig08c_kernel_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08c_kernel_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

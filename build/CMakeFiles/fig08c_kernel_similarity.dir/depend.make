@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08c_kernel_similarity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_impact_first.dir/bench/fig09_impact_first.cpp.o"
+  "CMakeFiles/fig09_impact_first.dir/bench/fig09_impact_first.cpp.o.d"
+  "bench/fig09_impact_first"
+  "bench/fig09_impact_first.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_impact_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

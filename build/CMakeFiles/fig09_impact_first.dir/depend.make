@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_impact_first.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_early_stop_bw.dir/bench/fig10a_early_stop_bw.cpp.o"
+  "CMakeFiles/fig10a_early_stop_bw.dir/bench/fig10a_early_stop_bw.cpp.o.d"
+  "bench/fig10a_early_stop_bw"
+  "bench/fig10a_early_stop_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_early_stop_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

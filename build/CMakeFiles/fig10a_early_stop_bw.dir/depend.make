@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10a_early_stop_bw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_early_stop_roti.dir/bench/fig10b_early_stop_roti.cpp.o"
+  "CMakeFiles/fig10b_early_stop_roti.dir/bench/fig10b_early_stop_roti.cpp.o.d"
+  "bench/fig10b_early_stop_roti"
+  "bench/fig10b_early_stop_roti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_early_stop_roti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

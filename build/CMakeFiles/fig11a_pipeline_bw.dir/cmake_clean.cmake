@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_pipeline_bw.dir/bench/fig11a_pipeline_bw.cpp.o"
+  "CMakeFiles/fig11a_pipeline_bw.dir/bench/fig11a_pipeline_bw.cpp.o.d"
+  "bench/fig11a_pipeline_bw"
+  "bench/fig11a_pipeline_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_pipeline_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_pipeline_roti.dir/bench/fig11b_pipeline_roti.cpp.o"
+  "CMakeFiles/fig11b_pipeline_roti.dir/bench/fig11b_pipeline_roti.cpp.o.d"
+  "bench/fig11b_pipeline_roti"
+  "bench/fig11b_pipeline_roti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_pipeline_roti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

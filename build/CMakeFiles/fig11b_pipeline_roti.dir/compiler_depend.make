@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11b_pipeline_roti.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11b_pipeline_roti.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_viability.dir/bench/fig12_viability.cpp.o"
+  "CMakeFiles/fig12_viability.dir/bench/fig12_viability.cpp.o.d"
+  "bench/fig12_viability"
+  "bench/fig12_viability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_viability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/tunio_bench_common.dir/bench/common.cpp.o.d"
+  "lib/libtunio_bench_common.a"
+  "lib/libtunio_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libtunio_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_kernel.dir/discover_kernel.cpp.o"
+  "CMakeFiles/discover_kernel.dir/discover_kernel.cpp.o.d"
+  "discover_kernel"
+  "discover_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

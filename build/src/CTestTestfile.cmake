@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("pfs")
+subdirs("mpisim")
+subdirs("mpiio")
+subdirs("hdf5lite")
+subdirs("config")
+subdirs("trace")
+subdirs("minic")
+subdirs("discovery")
+subdirs("interp")
+subdirs("workloads")
+subdirs("nn")
+subdirs("rl")
+subdirs("tuner")
+subdirs("core")

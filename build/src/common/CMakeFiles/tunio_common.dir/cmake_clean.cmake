@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_common.dir/error.cpp.o"
+  "CMakeFiles/tunio_common.dir/error.cpp.o.d"
+  "CMakeFiles/tunio_common.dir/rng.cpp.o"
+  "CMakeFiles/tunio_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tunio_common.dir/stats.cpp.o"
+  "CMakeFiles/tunio_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tunio_common.dir/timeline.cpp.o"
+  "CMakeFiles/tunio_common.dir/timeline.cpp.o.d"
+  "CMakeFiles/tunio_common.dir/units.cpp.o"
+  "CMakeFiles/tunio_common.dir/units.cpp.o.d"
+  "libtunio_common.a"
+  "libtunio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_config.dir/inventory.cpp.o"
+  "CMakeFiles/tunio_config.dir/inventory.cpp.o.d"
+  "CMakeFiles/tunio_config.dir/space.cpp.o"
+  "CMakeFiles/tunio_config.dir/space.cpp.o.d"
+  "CMakeFiles/tunio_config.dir/stack_settings.cpp.o"
+  "CMakeFiles/tunio_config.dir/stack_settings.cpp.o.d"
+  "CMakeFiles/tunio_config.dir/xml.cpp.o"
+  "CMakeFiles/tunio_config.dir/xml.cpp.o.d"
+  "libtunio_config.a"
+  "libtunio_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_core.dir/early_stopping.cpp.o"
+  "CMakeFiles/tunio_core.dir/early_stopping.cpp.o.d"
+  "CMakeFiles/tunio_core.dir/pipeline.cpp.o"
+  "CMakeFiles/tunio_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/tunio_core.dir/roti.cpp.o"
+  "CMakeFiles/tunio_core.dir/roti.cpp.o.d"
+  "CMakeFiles/tunio_core.dir/session.cpp.o"
+  "CMakeFiles/tunio_core.dir/session.cpp.o.d"
+  "CMakeFiles/tunio_core.dir/smart_config.cpp.o"
+  "CMakeFiles/tunio_core.dir/smart_config.cpp.o.d"
+  "CMakeFiles/tunio_core.dir/tunio.cpp.o"
+  "CMakeFiles/tunio_core.dir/tunio.cpp.o.d"
+  "libtunio_core.a"
+  "libtunio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_discovery.dir/discovery.cpp.o"
+  "CMakeFiles/tunio_discovery.dir/discovery.cpp.o.d"
+  "libtunio_discovery.a"
+  "libtunio_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdf5lite/chunk_cache.cpp" "src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/chunk_cache.cpp.o" "gcc" "src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/chunk_cache.cpp.o.d"
+  "/root/repo/src/hdf5lite/dataset.cpp" "src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/dataset.cpp.o" "gcc" "src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/dataset.cpp.o.d"
+  "/root/repo/src/hdf5lite/file.cpp" "src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/file.cpp.o" "gcc" "src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/file.cpp.o.d"
+  "/root/repo/src/hdf5lite/metadata.cpp" "src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/metadata.cpp.o" "gcc" "src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/metadata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tunio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/tunio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tunio_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/tunio_mpiio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

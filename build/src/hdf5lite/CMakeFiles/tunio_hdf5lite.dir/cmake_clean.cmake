@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_hdf5lite.dir/chunk_cache.cpp.o"
+  "CMakeFiles/tunio_hdf5lite.dir/chunk_cache.cpp.o.d"
+  "CMakeFiles/tunio_hdf5lite.dir/dataset.cpp.o"
+  "CMakeFiles/tunio_hdf5lite.dir/dataset.cpp.o.d"
+  "CMakeFiles/tunio_hdf5lite.dir/file.cpp.o"
+  "CMakeFiles/tunio_hdf5lite.dir/file.cpp.o.d"
+  "CMakeFiles/tunio_hdf5lite.dir/metadata.cpp.o"
+  "CMakeFiles/tunio_hdf5lite.dir/metadata.cpp.o.d"
+  "libtunio_hdf5lite.a"
+  "libtunio_hdf5lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_hdf5lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_interp.dir/interp.cpp.o"
+  "CMakeFiles/tunio_interp.dir/interp.cpp.o.d"
+  "libtunio_interp.a"
+  "libtunio_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

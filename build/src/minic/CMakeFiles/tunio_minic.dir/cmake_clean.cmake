@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_minic.dir/lexer.cpp.o"
+  "CMakeFiles/tunio_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/tunio_minic.dir/parser.cpp.o"
+  "CMakeFiles/tunio_minic.dir/parser.cpp.o.d"
+  "CMakeFiles/tunio_minic.dir/printer.cpp.o"
+  "CMakeFiles/tunio_minic.dir/printer.cpp.o.d"
+  "libtunio_minic.a"
+  "libtunio_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

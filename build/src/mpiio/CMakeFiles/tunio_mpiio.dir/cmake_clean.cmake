@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_mpiio.dir/mpiio.cpp.o"
+  "CMakeFiles/tunio_mpiio.dir/mpiio.cpp.o.d"
+  "libtunio_mpiio.a"
+  "libtunio_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_mpisim.dir/mpisim.cpp.o"
+  "CMakeFiles/tunio_mpisim.dir/mpisim.cpp.o.d"
+  "libtunio_mpisim.a"
+  "libtunio_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

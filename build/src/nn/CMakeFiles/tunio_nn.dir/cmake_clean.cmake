@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_nn.dir/dense_net.cpp.o"
+  "CMakeFiles/tunio_nn.dir/dense_net.cpp.o.d"
+  "CMakeFiles/tunio_nn.dir/matrix.cpp.o"
+  "CMakeFiles/tunio_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/tunio_nn.dir/pca.cpp.o"
+  "CMakeFiles/tunio_nn.dir/pca.cpp.o.d"
+  "libtunio_nn.a"
+  "libtunio_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_pfs.dir/layout.cpp.o"
+  "CMakeFiles/tunio_pfs.dir/layout.cpp.o.d"
+  "CMakeFiles/tunio_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/tunio_pfs.dir/pfs.cpp.o.d"
+  "libtunio_pfs.a"
+  "libtunio_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

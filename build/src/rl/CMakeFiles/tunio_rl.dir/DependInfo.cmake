@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/log_curve_env.cpp" "src/rl/CMakeFiles/tunio_rl.dir/log_curve_env.cpp.o" "gcc" "src/rl/CMakeFiles/tunio_rl.dir/log_curve_env.cpp.o.d"
+  "/root/repo/src/rl/q_agent.cpp" "src/rl/CMakeFiles/tunio_rl.dir/q_agent.cpp.o" "gcc" "src/rl/CMakeFiles/tunio_rl.dir/q_agent.cpp.o.d"
+  "/root/repo/src/rl/state_observer.cpp" "src/rl/CMakeFiles/tunio_rl.dir/state_observer.cpp.o" "gcc" "src/rl/CMakeFiles/tunio_rl.dir/state_observer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tunio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tunio_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_rl.dir/log_curve_env.cpp.o"
+  "CMakeFiles/tunio_rl.dir/log_curve_env.cpp.o.d"
+  "CMakeFiles/tunio_rl.dir/q_agent.cpp.o"
+  "CMakeFiles/tunio_rl.dir/q_agent.cpp.o.d"
+  "CMakeFiles/tunio_rl.dir/state_observer.cpp.o"
+  "CMakeFiles/tunio_rl.dir/state_observer.cpp.o.d"
+  "libtunio_rl.a"
+  "libtunio_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/meter.cpp" "src/trace/CMakeFiles/tunio_trace.dir/meter.cpp.o" "gcc" "src/trace/CMakeFiles/tunio_trace.dir/meter.cpp.o.d"
+  "/root/repo/src/trace/report.cpp" "src/trace/CMakeFiles/tunio_trace.dir/report.cpp.o" "gcc" "src/trace/CMakeFiles/tunio_trace.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tunio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/tunio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tunio_mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_trace.dir/meter.cpp.o"
+  "CMakeFiles/tunio_trace.dir/meter.cpp.o.d"
+  "CMakeFiles/tunio_trace.dir/report.cpp.o"
+  "CMakeFiles/tunio_trace.dir/report.cpp.o.d"
+  "libtunio_trace.a"
+  "libtunio_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

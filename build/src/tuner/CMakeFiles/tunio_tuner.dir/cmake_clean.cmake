@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_tuner.dir/genetic_tuner.cpp.o"
+  "CMakeFiles/tunio_tuner.dir/genetic_tuner.cpp.o.d"
+  "CMakeFiles/tunio_tuner.dir/objective.cpp.o"
+  "CMakeFiles/tunio_tuner.dir/objective.cpp.o.d"
+  "CMakeFiles/tunio_tuner.dir/stoppers.cpp.o"
+  "CMakeFiles/tunio_tuner.dir/stoppers.cpp.o.d"
+  "libtunio_tuner.a"
+  "libtunio_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtunio_tuner.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bdcats.cpp" "src/workloads/CMakeFiles/tunio_workloads.dir/bdcats.cpp.o" "gcc" "src/workloads/CMakeFiles/tunio_workloads.dir/bdcats.cpp.o.d"
+  "/root/repo/src/workloads/flash.cpp" "src/workloads/CMakeFiles/tunio_workloads.dir/flash.cpp.o" "gcc" "src/workloads/CMakeFiles/tunio_workloads.dir/flash.cpp.o.d"
+  "/root/repo/src/workloads/hacc.cpp" "src/workloads/CMakeFiles/tunio_workloads.dir/hacc.cpp.o" "gcc" "src/workloads/CMakeFiles/tunio_workloads.dir/hacc.cpp.o.d"
+  "/root/repo/src/workloads/macsio.cpp" "src/workloads/CMakeFiles/tunio_workloads.dir/macsio.cpp.o" "gcc" "src/workloads/CMakeFiles/tunio_workloads.dir/macsio.cpp.o.d"
+  "/root/repo/src/workloads/sources.cpp" "src/workloads/CMakeFiles/tunio_workloads.dir/sources.cpp.o" "gcc" "src/workloads/CMakeFiles/tunio_workloads.dir/sources.cpp.o.d"
+  "/root/repo/src/workloads/vpic.cpp" "src/workloads/CMakeFiles/tunio_workloads.dir/vpic.cpp.o" "gcc" "src/workloads/CMakeFiles/tunio_workloads.dir/vpic.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/tunio_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/tunio_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tunio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/tunio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tunio_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/tunio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/tunio_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tunio_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

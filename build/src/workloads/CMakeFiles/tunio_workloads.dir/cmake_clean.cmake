@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunio_workloads.dir/bdcats.cpp.o"
+  "CMakeFiles/tunio_workloads.dir/bdcats.cpp.o.d"
+  "CMakeFiles/tunio_workloads.dir/flash.cpp.o"
+  "CMakeFiles/tunio_workloads.dir/flash.cpp.o.d"
+  "CMakeFiles/tunio_workloads.dir/hacc.cpp.o"
+  "CMakeFiles/tunio_workloads.dir/hacc.cpp.o.d"
+  "CMakeFiles/tunio_workloads.dir/macsio.cpp.o"
+  "CMakeFiles/tunio_workloads.dir/macsio.cpp.o.d"
+  "CMakeFiles/tunio_workloads.dir/sources.cpp.o"
+  "CMakeFiles/tunio_workloads.dir/sources.cpp.o.d"
+  "CMakeFiles/tunio_workloads.dir/vpic.cpp.o"
+  "CMakeFiles/tunio_workloads.dir/vpic.cpp.o.d"
+  "CMakeFiles/tunio_workloads.dir/workload.cpp.o"
+  "CMakeFiles/tunio_workloads.dir/workload.cpp.o.d"
+  "libtunio_workloads.a"
+  "libtunio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

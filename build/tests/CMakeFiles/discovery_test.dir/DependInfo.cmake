@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/discovery_test.cpp" "tests/CMakeFiles/discovery_test.dir/discovery_test.cpp.o" "gcc" "tests/CMakeFiles/discovery_test.dir/discovery_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tunio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/tunio_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/tunio_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tunio_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tunio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tunio_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/tunio_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/tunio_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/tunio_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tunio_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdf5lite/CMakeFiles/tunio_hdf5lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/tunio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tunio_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/tunio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tunio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_test[1]_include.cmake")
+include("/root/repo/build/tests/mpiio_test[1]_include.cmake")
+include("/root/repo/build/tests/hdf5lite_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_test[1]_include.cmake")
+include("/root/repo/build/tests/discovery_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_test[1]_include.cmake")
+include("/root/repo/build/tests/tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
