@@ -2,9 +2,9 @@
 # evaluation, plus google-benchmark micro-benchmarks of the substrates.
 
 set(TUNIO_BENCH_LIBS
-  tunio_core tunio_tuner tunio_rl tunio_nn tunio_workloads tunio_interp
-  tunio_discovery tunio_minic tunio_config tunio_trace tunio_hdf5lite
-  tunio_mpiio tunio_mpisim tunio_pfs tunio_common)
+  tunio_core tunio_service tunio_tuner tunio_rl tunio_nn tunio_workloads
+  tunio_interp tunio_discovery tunio_minic tunio_config tunio_trace
+  tunio_hdf5lite tunio_mpiio tunio_mpisim tunio_pfs tunio_common)
 
 add_library(tunio_bench_common STATIC ${CMAKE_SOURCE_DIR}/bench/common.cpp)
 target_link_libraries(tunio_bench_common PUBLIC ${TUNIO_BENCH_LIBS})
@@ -31,6 +31,7 @@ tunio_add_bench(fig11a_pipeline_bw)
 tunio_add_bench(fig11b_pipeline_roti)
 tunio_add_bench(fig12_viability)
 tunio_add_bench(ablation_components)
+tunio_add_bench(service_throughput)
 
 # Micro-benchmarks (google-benchmark) for the substrates themselves.
 add_executable(micro_substrates ${CMAKE_SOURCE_DIR}/bench/micro_substrates.cpp)

@@ -1,5 +1,30 @@
 #include "common/rng.hpp"
 
-// Header-only today; the translation unit anchors the library and keeps a
-// stable place for future out-of-line additions.
-namespace tunio {}
+namespace tunio {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // SplitMix64 finalizer (Steele, Lea, Flood; public domain reference
+  // implementation). Full avalanche: every input bit affects every
+  // output bit, so nearby seeds yield unrelated streams.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_indices(const std::vector<std::size_t>& indices) {
+  // FNV-1a over the elements, then mixed: cheap, order-sensitive, and
+  // stable across platforms (no size_t-width dependence in the result).
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t v : indices) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 0x100000001B3ull;
+  }
+  return mix64(h);
+}
+
+std::uint64_t derive_stream(std::uint64_t root_seed, std::uint64_t item_hash) {
+  return mix64(root_seed ^ mix64(item_hash));
+}
+
+}  // namespace tunio

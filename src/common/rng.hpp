@@ -3,6 +3,14 @@
 // Every stochastic component (genetic operators, RL exploration, noise in
 // the device models) draws from an explicitly seeded `Rng` so that whole
 // experiments are reproducible from a single seed.
+//
+// Thread safety: an `Rng` is NOT thread-safe — each thread (or each unit
+// of work that must be order-independent) gets its own generator. For
+// work items evaluated concurrently, derive an independent stream per
+// item with `derive_stream(root_seed, hash_indices(item))`: the stream
+// depends only on the root seed and the item itself, never on which
+// worker ran it or in what order, so concurrent runs are bit-identical
+// to serial ones.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +20,16 @@
 #include "common/error.hpp"
 
 namespace tunio {
+
+/// SplitMix64 finalizer: scrambles a 64-bit value into a well-mixed one.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Order-sensitive hash of an index vector (a tuner genome, a shard key).
+std::uint64_t hash_indices(const std::vector<std::size_t>& indices);
+
+/// Deterministic per-item seed: combines a root seed with an item hash so
+/// every item gets an independent, reproducible RNG stream.
+std::uint64_t derive_stream(std::uint64_t root_seed, std::uint64_t item_hash);
 
 class Rng {
  public:

@@ -7,8 +7,13 @@ namespace tunio::core {
 PipelineRun run_pipeline(const cfg::ConfigSpace& space,
                          tuner::Objective& objective, TunIO* tunio,
                          const PipelineVariant& variant,
-                         tuner::GaOptions ga) {
-  tuner::GeneticTuner tuner(space, objective, ga);
+                         tuner::GaOptions ga,
+                         const service::EvalBinding& binding) {
+  service::ServiceObjective service_objective(objective, binding);
+  tuner::Objective& eval_objective =
+      binding.enabled() ? static_cast<tuner::Objective&>(service_objective)
+                        : objective;
+  tuner::GeneticTuner tuner(space, eval_objective, ga);
 
   const bool needs_tunio =
       variant.impact_first || variant.stop == StopPolicy::kTunio;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/tunio.hpp"
+#include "service/service_objective.hpp"
 #include "tuner/genetic_tuner.hpp"
 #include "tuner/stoppers.hpp"
 
@@ -32,10 +33,14 @@ struct PipelineRun {
 
 /// Runs one labeled pipeline variant. `tunio` is required (and mutated:
 /// its agents learn) for impact-first or kTunio variants; pass nullptr
-/// for pure-baseline runs.
+/// for pure-baseline runs. An enabled `binding` routes evaluations
+/// through the service layer — generations fan out over the engine's
+/// workers and repeat genomes hit the shared result cache — without
+/// changing the tuning outcome (results are bit-identical to serial).
 PipelineRun run_pipeline(const cfg::ConfigSpace& space,
                          tuner::Objective& objective, TunIO* tunio,
                          const PipelineVariant& variant,
-                         tuner::GaOptions ga = {});
+                         tuner::GaOptions ga = {},
+                         const service::EvalBinding& binding = {});
 
 }  // namespace tunio::core

@@ -7,10 +7,12 @@ namespace tunio::core {
 
 InteractiveSession::InteractiveSession(TunIO& tunio,
                                        tuner::Objective& objective,
-                                       tuner::GaOptions ga)
+                                       tuner::GaOptions ga,
+                                       service::EvalBinding binding)
     : tunio_(tunio),
       objective_(objective),
       ga_(ga),
+      binding_(binding),
       best_config_(tunio.space().default_configuration()) {}
 
 tuner::TuningResult InteractiveSession::step(unsigned generations) {
@@ -23,7 +25,11 @@ tuner::TuningResult InteractiveSession::step(unsigned generations) {
   if (steps_ > 0) {
     ga.seed_indices = best_config_.indices();
   }
-  tuner::GeneticTuner tuner(tunio_.space(), objective_, ga);
+  service::ServiceObjective service_objective(objective_, binding_);
+  tuner::Objective& eval_objective =
+      binding_.enabled() ? static_cast<tuner::Objective&>(service_objective)
+                         : objective_;
+  tuner::GeneticTuner tuner(tunio_.space(), eval_objective, ga);
   tunio_.attach(tuner);
 
   const tuner::TuningResult result = tuner.run();

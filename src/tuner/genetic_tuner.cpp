@@ -42,20 +42,50 @@ GeneticTuner::Genome GeneticTuner::random_genome() {
   return genome;
 }
 
-double GeneticTuner::fitness(const Genome& genome, double* seconds) {
+double GeneticTuner::evaluate_population(const std::vector<Genome>& population,
+                                         std::vector<double>& scores) {
+  // Partition the generation into cache hits and fresh work. The fresh
+  // genomes go through `evaluate_batch` as one batch, so a parallel
+  // objective (the service evaluation engine) overlaps them; duplicates
+  // within a generation are evaluated once when caching is on.
+  std::vector<cfg::Configuration> batch;
+  std::vector<std::size_t> batch_slot;  // population index of batch[i]
+  std::map<Genome, std::size_t> in_batch;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (options_.cache_evaluations) {
+      if (fitness_cache_.count(population[i]) > 0 ||
+          in_batch.count(population[i]) > 0) {
+        continue;
+      }
+      in_batch.emplace(population[i], batch.size());
+    }
+    batch.push_back(to_config(population[i]));
+    batch_slot.push_back(i);
+  }
+
+  const std::vector<Evaluation> fresh = objective_.evaluate_batch(batch);
+  TUNIO_CHECK_MSG(fresh.size() == batch.size(),
+                  "evaluate_batch returned wrong arity");
+
+  // Budget accounting sums the *simulated* cost of the fresh evaluations
+  // — never wall-clock — so a parallel engine bills exactly what a
+  // serial run would. Cache hits bill zero: nothing was re-run.
+  double billed_seconds = 0.0;
+  for (const Evaluation& eval : fresh) billed_seconds += eval.eval_seconds;
+
   if (options_.cache_evaluations) {
-    auto it = fitness_cache_.find(genome);
-    if (it != fitness_cache_.end()) {
-      if (seconds) *seconds = 0.0;  // cached: nothing re-run
-      return it->second;
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      fitness_cache_.emplace(population[batch_slot[b]], fresh[b]);
+    }
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      scores[i] = fitness_cache_.at(population[i]).perf_mbps;
+    }
+  } else {
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      scores[batch_slot[b]] = fresh[b].perf_mbps;
     }
   }
-  const Evaluation eval = objective_.evaluate(to_config(genome));
-  if (seconds) *seconds = eval.eval_seconds;
-  if (options_.cache_evaluations) {
-    fitness_cache_.emplace(genome, eval.perf_mbps);
-  }
-  return eval.perf_mbps;
+  return billed_seconds;
 }
 
 std::pair<const GeneticTuner::Genome*, const GeneticTuner::Genome*>
@@ -111,12 +141,10 @@ TuningResult GeneticTuner::run() {
           "subset index out of range");
     }
 
-    // Evaluate the population.
+    // Evaluate the population (one batch; possibly in parallel).
+    cumulative_seconds += evaluate_population(population, scores);
     double generation_best = -1.0;
     for (std::size_t i = 0; i < population.size(); ++i) {
-      double seconds = 0.0;
-      scores[i] = fitness(population[i], &seconds);
-      cumulative_seconds += seconds;
       generation_best = std::max(generation_best, scores[i]);
       if (scores[i] > best_perf) {
         best_perf = scores[i];

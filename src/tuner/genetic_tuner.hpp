@@ -93,7 +93,13 @@ class GeneticTuner {
 
   cfg::Configuration to_config(const Genome& genome) const;
   Genome random_genome();
-  double fitness(const Genome& genome, double* seconds);
+
+  /// Scores a whole population through `Objective::evaluate_batch`,
+  /// consulting the fitness cache first. Fills `scores` (perf per
+  /// individual) and returns the simulated seconds billed — the sum of
+  /// the fresh evaluations' costs; cache hits bill nothing.
+  double evaluate_population(const std::vector<Genome>& population,
+                             std::vector<double>& scores);
 
   /// Tournament: sample `tournament_size`, return the best two.
   std::pair<const Genome*, const Genome*> tournament(
@@ -106,7 +112,11 @@ class GeneticTuner {
   Rng rng_;
   SubsetProvider subset_provider_;
   Stopper stopper_;
-  std::map<Genome, double> fitness_cache_;
+  /// Caches the *full* evaluation (perf and simulated cost), keyed by
+  /// genome. Hits re-use the perf and bill zero seconds to the budget —
+  /// the same accounting the service-layer result cache uses, so a run
+  /// behaves identically whichever cache satisfies a repeat genome.
+  std::map<Genome, Evaluation> fitness_cache_;
 };
 
 }  // namespace tunio::tuner

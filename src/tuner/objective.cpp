@@ -1,20 +1,39 @@
 #include "tuner/objective.hpp"
 
+#include <atomic>
+
 #include "common/rng.hpp"
 #include "minic/parser.hpp"
 
 namespace tunio::tuner {
 
+std::vector<Evaluation> Objective::evaluate_batch(
+    const std::vector<cfg::Configuration>& configs) {
+  std::vector<Evaluation> results;
+  results.reserve(configs.size());
+  for (const cfg::Configuration& config : configs) {
+    results.push_back(evaluate(config));
+  }
+  return results;
+}
+
 namespace {
 
 /// Shared run-averaging logic for both objective flavors.
+///
+/// Concurrency-safe by construction: every evaluation provisions its own
+/// simulated testbed (fresh MpiSim/PfsSimulator per run) and draws its
+/// measurement noise from an RNG stream derived from the testbed seed and
+/// the genome alone. Results therefore depend only on (seed, config) —
+/// never on call order, interleaving, or which thread ran the evaluation.
 class ObjectiveBase : public Objective {
  public:
-  explicit ObjectiveBase(TestbedOptions testbed)
-      : testbed_(testbed), rng_(testbed.seed) {}
+  explicit ObjectiveBase(TestbedOptions testbed) : testbed_(testbed) {}
 
   Evaluation evaluate(const cfg::Configuration& config) override {
     const cfg::StackSettings settings = cfg::resolve(config);
+    // Per-genome noise stream (see class comment).
+    Rng rng(derive_stream(testbed_.seed, hash_indices(config.indices())));
     Evaluation eval;
     double perf_sum = 0.0;
     double seconds_sum = 0.0;
@@ -24,7 +43,7 @@ class ObjectiveBase : public Objective {
       auto [perf, seconds, detail] = run_once(mpi, fs, settings);
       // Platform volatility: multiplicative measurement noise.
       const double noisy =
-          perf * (1.0 + rng_.normal(0.0, testbed_.measurement_noise));
+          perf * (1.0 + rng.normal(0.0, testbed_.measurement_noise));
       perf_sum += std::max(0.0, noisy);
       seconds_sum += seconds;
       eval.detail = detail;
@@ -34,11 +53,15 @@ class ObjectiveBase : public Objective {
     // plus the fixed per-evaluation launch overhead.
     eval.eval_seconds =
         seconds_sum / testbed_.runs_per_eval + testbed_.launch_overhead_seconds;
-    ++evaluations_;
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
     return eval;
   }
 
-  std::uint64_t evaluations() const override { return evaluations_; }
+  bool concurrent_safe() const override { return true; }
+
+  std::uint64_t evaluations() const override {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  protected:
   struct RunOutcome {
@@ -46,12 +69,13 @@ class ObjectiveBase : public Objective {
     SimSeconds seconds;
     trace::PerfResult detail;
   };
+  /// Must be safe to call concurrently: the stack objects are per-call,
+  /// so implementations may only read shared state.
   virtual RunOutcome run_once(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
                               const cfg::StackSettings& settings) = 0;
 
   TestbedOptions testbed_;
-  Rng rng_;
-  std::uint64_t evaluations_ = 0;
+  std::atomic<std::uint64_t> evaluations_ = 0;
 };
 
 class WorkloadObjective final : public ObjectiveBase {

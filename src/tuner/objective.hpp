@@ -47,6 +47,25 @@ class Objective {
   virtual ~Objective() = default;
   virtual std::string name() const = 0;
   virtual Evaluation evaluate(const cfg::Configuration& config) = 0;
+
+  /// Evaluates a batch of configurations; `results[i]` corresponds to
+  /// `configs[i]`. The default implementation is a serial loop over
+  /// `evaluate`. Overrides may run the batch concurrently (the service
+  /// evaluation engine does), but must return results bit-identical to
+  /// the serial path — which the built-in objectives guarantee by
+  /// drawing each evaluation's noise from a per-genome RNG stream
+  /// (`derive_stream(seed, hash_indices(genome))`) instead of one shared
+  /// sequential stream.
+  virtual std::vector<Evaluation> evaluate_batch(
+      const std::vector<cfg::Configuration>& configs);
+
+  /// True when `evaluate` may be called from several threads at once.
+  /// The built-in workload/kernel objectives qualify: every run
+  /// provisions a fresh simulated testbed and the per-genome RNG streams
+  /// share no state. Stateful custom objectives should leave this false;
+  /// the evaluation engine then falls back to serial evaluation.
+  virtual bool concurrent_safe() const { return false; }
+
   /// Total evaluations performed so far.
   virtual std::uint64_t evaluations() const = 0;
 };

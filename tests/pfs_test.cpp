@@ -171,7 +171,9 @@ TEST(PfsSimulator, MemoryTierBypassesOsts) {
     EXPECT_DOUBLE_EQ(busy, 0.0);
   }
   // And it is much faster than a single-stripe disk write of this size.
-  fs.create("/disk/f", 0.0, CreateOptions{.stripe_count = 1});
+  CreateOptions one_stripe;
+  one_stripe.stripe_count = 1;
+  fs.create("/disk/f", 0.0, one_stripe);
   const SimSeconds disk_done = fs.write("/disk/f", 0.0, 0, 64 * MiB);
   EXPECT_LT(done, disk_done);
 }
