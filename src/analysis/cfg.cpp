@@ -1,0 +1,250 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tunio::analysis {
+
+using minic::Expr;
+using minic::ExprKind;
+using minic::Function;
+using minic::Program;
+using minic::Stmt;
+using minic::StmtKind;
+
+namespace {
+
+void walk_expr(const Expr& expr,
+               const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  for (const auto& child : expr.children) walk_expr(*child, fn);
+}
+
+}  // namespace
+
+void for_each_own_expr(const Stmt& stmt,
+                       const std::function<void(const Expr&)>& fn) {
+  if (stmt.value) walk_expr(*stmt.value, fn);
+  if (stmt.cond) walk_expr(*stmt.cond, fn);
+}
+
+std::vector<std::string> names_used(const Stmt& stmt) {
+  std::vector<std::string> names;
+  for_each_own_expr(stmt, [&](const Expr& e) {
+    if (e.kind == ExprKind::kVar) names.push_back(e.text);
+  });
+  return names;
+}
+
+std::string name_defined(const Stmt& stmt) {
+  if (stmt.kind == StmtKind::kDecl || stmt.kind == StmtKind::kAssign) {
+    return stmt.name;
+  }
+  return {};
+}
+
+// --- ProgramIndex ----------------------------------------------------------
+
+ProgramIndex::ProgramIndex(const Program& program) : program_(&program) {
+  for (const Function& fn : program.functions) index_function(fn);
+  std::sort(ids_.begin(), ids_.end());
+}
+
+const StmtRecord& ProgramIndex::record(int stmt_id) const {
+  auto it = records_.find(stmt_id);
+  TUNIO_CHECK_MSG(it != records_.end(),
+                  "unknown statement id " + std::to_string(stmt_id));
+  return it->second;
+}
+
+std::vector<int> ProgramIndex::function_stmts(const Function& fn) const {
+  std::vector<int> out;
+  for (int id : ids_) {
+    if (records_.at(id).function == &fn) out.push_back(id);
+  }
+  return out;
+}
+
+int ProgramIndex::binding(int stmt_id, const std::string& name) const {
+  auto stmt_it = bindings_.find(stmt_id);
+  if (stmt_it == bindings_.end()) return -1;
+  auto name_it = stmt_it->second.find(name);
+  return name_it == stmt_it->second.end() ? -1 : name_it->second;
+}
+
+void ProgramIndex::index_function(const Function& fn) {
+  std::vector<std::unordered_map<std::string, int>> scopes;
+  scopes.emplace_back();
+  for (const auto& [type, pname] : fn.params) {
+    (void)type;
+    scopes.back()[pname] = -1;  // parameters bind to no statement
+  }
+  index_stmt(*fn.body, nullptr, &fn, 0, &scopes);
+}
+
+void ProgramIndex::record_bindings(
+    const Stmt& stmt,
+    const std::vector<std::unordered_map<std::string, int>>& scopes) {
+  auto resolve = [&](const std::string& name) {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return -1;
+  };
+  auto& slot = bindings_[stmt.id];
+  for (const std::string& name : names_used(stmt)) {
+    slot.emplace(name, resolve(name));
+  }
+  const std::string defined = name_defined(stmt);
+  if (!defined.empty() && stmt.kind == StmtKind::kAssign) {
+    slot.emplace(defined, resolve(defined));
+  }
+}
+
+void ProgramIndex::index_stmt(
+    const Stmt& stmt, const Stmt* parent, const Function* fn, int loop_depth,
+    std::vector<std::unordered_map<std::string, int>>* scopes) {
+  records_[stmt.id] = StmtRecord{&stmt, parent, fn, loop_depth};
+  ids_.push_back(stmt.id);
+  record_bindings(stmt, *scopes);
+  if (stmt.kind == StmtKind::kDecl) {
+    // The declaration binds its own name for the rest of the scope (its
+    // initializer, evaluated first, still sees any outer binding — but
+    // mini-C rejects shadowing at runtime, so self-binding is safe here).
+    (*scopes).back()[stmt.name] = stmt.id;
+    bindings_[stmt.id][stmt.name] = stmt.id;
+  }
+
+  const int child_loop_depth =
+      loop_depth +
+      (stmt.kind == StmtKind::kFor || stmt.kind == StmtKind::kWhile ? 1 : 0);
+
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      scopes->emplace_back();
+      for (const minic::StmtPtr& child : stmt.statements) {
+        index_stmt(*child, &stmt, fn, loop_depth, scopes);
+      }
+      scopes->pop_back();
+      break;
+    case StmtKind::kFor:
+      // The for-header opens its own scope (the interpreter pushes one
+      // around init + body). Init runs once, so it stays at the outer
+      // loop depth; body and update execute per iteration.
+      scopes->emplace_back();
+      if (stmt.init) index_stmt(*stmt.init, &stmt, fn, loop_depth, scopes);
+      if (stmt.body) {
+        index_stmt(*stmt.body, &stmt, fn, child_loop_depth, scopes);
+      }
+      if (stmt.update) {
+        index_stmt(*stmt.update, &stmt, fn, child_loop_depth, scopes);
+      }
+      scopes->pop_back();
+      break;
+    case StmtKind::kWhile:
+      if (stmt.body) {
+        index_stmt(*stmt.body, &stmt, fn, child_loop_depth, scopes);
+      }
+      break;
+    case StmtKind::kIf:
+      if (stmt.body) index_stmt(*stmt.body, &stmt, fn, loop_depth, scopes);
+      if (stmt.else_body) {
+        index_stmt(*stmt.else_body, &stmt, fn, loop_depth, scopes);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// --- FunctionCfg -----------------------------------------------------------
+
+int FunctionCfg::node_of(int stmt_id) const {
+  auto it = stmt_node_.find(stmt_id);
+  return it == stmt_node_.end() ? -1 : it->second;
+}
+
+int FunctionCfg::add_node(const Stmt* stmt) {
+  const int node = static_cast<int>(node_stmt_.size());
+  node_stmt_.push_back(stmt);
+  succ_.emplace_back();
+  pred_.emplace_back();
+  if (stmt != nullptr) stmt_node_[stmt->id] = node;
+  return node;
+}
+
+void FunctionCfg::add_edge(int from, int to) {
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+}
+
+std::vector<int> FunctionCfg::wire(const Stmt& stmt, std::vector<int> preds) {
+  auto connect = [&](int node) {
+    for (int p : preds) add_edge(p, node);
+  };
+  switch (stmt.kind) {
+    case StmtKind::kBlock: {
+      for (const minic::StmtPtr& child : stmt.statements) {
+        preds = wire(*child, std::move(preds));
+      }
+      return preds;
+    }
+    case StmtKind::kDecl:
+    case StmtKind::kAssign:
+    case StmtKind::kExprStmt: {
+      const int node = add_node(&stmt);
+      connect(node);
+      return {node};
+    }
+    case StmtKind::kReturn: {
+      const int node = add_node(&stmt);
+      connect(node);
+      add_edge(node, kExit);
+      return {};  // no fall-through
+    }
+    case StmtKind::kIf: {
+      const int cond = add_node(&stmt);
+      connect(cond);
+      std::vector<int> exits = wire(*stmt.body, {cond});
+      if (stmt.else_body) {
+        std::vector<int> else_exits = wire(*stmt.else_body, {cond});
+        exits.insert(exits.end(), else_exits.begin(), else_exits.end());
+      } else {
+        exits.push_back(cond);  // condition false falls through
+      }
+      return exits;
+    }
+    case StmtKind::kWhile: {
+      const int cond = add_node(&stmt);
+      connect(cond);
+      const std::vector<int> body_exits = wire(*stmt.body, {cond});
+      for (int e : body_exits) add_edge(e, cond);
+      return {cond};
+    }
+    case StmtKind::kFor: {
+      if (stmt.init) preds = wire(*stmt.init, std::move(preds));
+      const int cond = add_node(&stmt);  // the kFor node = condition test
+      connect(cond);
+      std::vector<int> body_exits = wire(*stmt.body, {cond});
+      if (stmt.update) body_exits = wire(*stmt.update, std::move(body_exits));
+      for (int e : body_exits) add_edge(e, cond);
+      return {cond};
+    }
+  }
+  throw Error("unreachable statement kind in CFG construction");
+}
+
+FunctionCfg build_cfg(const Function& fn) {
+  FunctionCfg cfg;
+  cfg.function_ = &fn;
+  const int entry = cfg.add_node(nullptr);
+  const int exit = cfg.add_node(nullptr);
+  TUNIO_CHECK(entry == FunctionCfg::kEntry && exit == FunctionCfg::kExit);
+  const std::vector<int> falls = cfg.wire(*fn.body, {entry});
+  for (int node : falls) cfg.add_edge(node, exit);
+  return cfg;
+}
+
+}  // namespace tunio::analysis

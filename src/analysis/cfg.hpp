@@ -1,0 +1,123 @@
+// Static-analysis foundation over the mini-C AST: a flat statement index
+// (parents, enclosing function, loop depth, lexical scope bindings) and a
+// per-function control-flow graph.
+//
+// The CFG gives every *executable* statement a node — declarations,
+// assignments, expression statements, returns, and the condition of each
+// if/while/for (the structural statement itself acts as its condition
+// node; for-init and for-update are ordinary nodes of their own, wired
+// into the loop in evaluation order). Blocks are transparent. Two
+// synthetic nodes, entry and exit, bracket the function.
+//
+// Downstream passes (reaching definitions in dataflow.hpp, the backward
+// slicer in slicer.hpp, the anti-pattern linter in lint.hpp) all operate
+// on this representation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace tunio::analysis {
+
+/// Flat per-statement facts gathered in one walk over the program.
+struct StmtRecord {
+  const minic::Stmt* stmt = nullptr;
+  /// Enclosing structural statement (block, loop, branch, or the for-loop
+  /// owning an init/update); null for a function's top-level body block.
+  const minic::Stmt* parent = nullptr;
+  const minic::Function* function = nullptr;
+  /// Number of enclosing for/while statements (0 = straight-line code).
+  int loop_depth = 0;
+};
+
+/// Whole-program statement index with lexical scope resolution.
+class ProgramIndex {
+ public:
+  explicit ProgramIndex(const minic::Program& program);
+
+  const minic::Program& program() const { return *program_; }
+
+  bool has(int stmt_id) const { return records_.count(stmt_id) > 0; }
+  const StmtRecord& record(int stmt_id) const;
+
+  /// All indexed statement ids, ascending (== program order per function).
+  const std::vector<int>& ids() const { return ids_; }
+
+  /// Ids of the statements belonging to `fn`, ascending.
+  std::vector<int> function_stmts(const minic::Function& fn) const;
+
+  /// The declaration statement that binds `name` where `stmt_id` executes,
+  /// or -1 when the name is a function parameter (or unresolved). Only
+  /// names actually referenced by the statement are recorded.
+  int binding(int stmt_id, const std::string& name) const;
+
+ private:
+  void index_function(const minic::Function& fn);
+  void index_stmt(const minic::Stmt& stmt, const minic::Stmt* parent,
+                  const minic::Function* fn, int loop_depth,
+                  std::vector<std::unordered_map<std::string, int>>* scopes);
+  void record_bindings(
+      const minic::Stmt& stmt,
+      const std::vector<std::unordered_map<std::string, int>>& scopes);
+
+  const minic::Program* program_;
+  std::unordered_map<int, StmtRecord> records_;
+  std::vector<int> ids_;
+  /// stmt id -> (referenced name -> binding decl id, -1 for parameters).
+  std::unordered_map<int, std::unordered_map<std::string, int>> bindings_;
+};
+
+/// Per-function control-flow graph. Nodes are dense ints; node 0 is the
+/// synthetic entry, node 1 the synthetic exit.
+class FunctionCfg {
+ public:
+  static constexpr int kEntry = 0;
+  static constexpr int kExit = 1;
+
+  const minic::Function& function() const { return *function_; }
+
+  int num_nodes() const { return static_cast<int>(succ_.size()); }
+
+  /// CFG node of a statement id; -1 for statements without a node
+  /// (blocks) or ids from other functions.
+  int node_of(int stmt_id) const;
+  /// Statement of a node; null for entry/exit.
+  const minic::Stmt* stmt_of(int node) const { return node_stmt_[node]; }
+
+  const std::vector<int>& successors(int node) const { return succ_[node]; }
+  const std::vector<int>& predecessors(int node) const { return pred_[node]; }
+
+ private:
+  friend FunctionCfg build_cfg(const minic::Function& fn);
+
+  int add_node(const minic::Stmt* stmt);
+  void add_edge(int from, int to);
+  /// Wires `stmt` after all of `preds`; returns the fall-through frontier.
+  std::vector<int> wire(const minic::Stmt& stmt, std::vector<int> preds);
+
+  const minic::Function* function_ = nullptr;
+  std::vector<const minic::Stmt*> node_stmt_;
+  std::unordered_map<int, int> stmt_node_;
+  std::vector<std::vector<int>> succ_;
+  std::vector<std::vector<int>> pred_;
+};
+
+FunctionCfg build_cfg(const minic::Function& fn);
+
+/// Variable names read by the expressions the statement itself owns
+/// (value / condition — not those of child statements; a for's init and
+/// update are separate statements).
+std::vector<std::string> names_used(const minic::Stmt& stmt);
+
+/// The variable the statement defines (decl/assign target), or "".
+std::string name_defined(const minic::Stmt& stmt);
+
+/// Applies `fn` to every expression node owned by the statement itself.
+void for_each_own_expr(const minic::Stmt& stmt,
+                       const std::function<void(const minic::Expr&)>& fn);
+
+}  // namespace tunio::analysis

@@ -1,0 +1,111 @@
+#include "analysis/dataflow.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace tunio::analysis {
+
+using minic::Function;
+using minic::Stmt;
+
+ReachingDefinitions::ReachingDefinitions(const Function& fn,
+                                         const FunctionCfg& cfg)
+    : cfg_(&cfg) {
+  // Collect definitions: parameters at entry, then decls/assigns.
+  for (const auto& [type, pname] : fn.params) {
+    (void)type;
+    defs_.push_back({FunctionCfg::kEntry, -1, pname});
+  }
+  for (int node = 0; node < cfg.num_nodes(); ++node) {
+    const Stmt* stmt = cfg.stmt_of(node);
+    if (stmt == nullptr) continue;
+    const std::string defined = name_defined(*stmt);
+    if (!defined.empty()) defs_.push_back({node, stmt->id, defined});
+  }
+
+  const int num_defs = static_cast<int>(defs_.size());
+  const int words = (num_defs + 63) / 64;
+  // Defs of each name, for KILL sets.
+  std::unordered_map<std::string, std::vector<int>> defs_by_name;
+  for (int d = 0; d < num_defs; ++d) defs_by_name[defs_[d].name].push_back(d);
+
+  std::vector<Bits> gen(cfg.num_nodes(), Bits(words, 0));
+  std::vector<Bits> kill(cfg.num_nodes(), Bits(words, 0));
+  auto set_bit = [](Bits& bits, int i) { bits[i >> 6] |= 1ull << (i & 63); };
+  for (int d = 0; d < num_defs; ++d) {
+    set_bit(gen[defs_[d].node], d);
+    for (int other : defs_by_name[defs_[d].name]) {
+      if (other != d) set_bit(kill[defs_[d].node], other);
+    }
+  }
+
+  in_.assign(cfg.num_nodes(), Bits(words, 0));
+  out_.assign(cfg.num_nodes(), Bits(words, 0));
+
+  // Worklist iteration to fixpoint (FIFO; each pop counts one pass over
+  // a node).
+  std::deque<int> worklist;
+  std::vector<char> queued(cfg.num_nodes(), 1);
+  for (int node = 0; node < cfg.num_nodes(); ++node) worklist.push_back(node);
+  while (!worklist.empty()) {
+    const int node = worklist.front();
+    worklist.pop_front();
+    queued[node] = 0;
+    ++solver_passes_;
+
+    Bits& in = in_[node];
+    for (int p : cfg.predecessors(node)) {
+      for (int w = 0; w < words; ++w) in[w] |= out_[p][w];
+    }
+    bool changed = false;
+    for (int w = 0; w < words; ++w) {
+      const std::uint64_t next = gen[node][w] | (in[w] & ~kill[node][w]);
+      if (next != out_[node][w]) {
+        out_[node][w] = next;
+        changed = true;
+      }
+    }
+    if (changed) {
+      for (int s : cfg.successors(node)) {
+        if (!queued[s]) {
+          queued[s] = 1;
+          worklist.push_back(s);
+        }
+      }
+    }
+  }
+}
+
+std::vector<int> ReachingDefinitions::reaching(int node,
+                                               const std::string& name) const {
+  std::vector<int> result;
+  for (int d = 0; d < static_cast<int>(defs_.size()); ++d) {
+    if (defs_[d].name == name && test(in_[node], d)) result.push_back(d);
+  }
+  return result;
+}
+
+DefUseChains build_def_use(const Function& fn, const FunctionCfg& cfg,
+                           const ReachingDefinitions& rd) {
+  (void)fn;
+  DefUseChains chains;
+  // Every definition appears in def_to_uses so dead stores are visible.
+  for (const Definition& def : rd.definitions()) {
+    if (def.stmt_id >= 0) chains.def_to_uses[def.stmt_id];
+  }
+  for (int node = 0; node < cfg.num_nodes(); ++node) {
+    const Stmt* stmt = cfg.stmt_of(node);
+    if (stmt == nullptr) continue;
+    for (const std::string& name : names_used(*stmt)) {
+      for (int d : rd.reaching(node, name)) {
+        const Definition& def = rd.definitions()[d];
+        if (def.stmt_id < 0) continue;  // parameter definition
+        chains.use_to_defs[stmt->id].insert(def.stmt_id);
+        chains.def_to_uses[def.stmt_id].insert(stmt->id);
+      }
+    }
+  }
+  return chains;
+}
+
+}  // namespace tunio::analysis

@@ -1,0 +1,82 @@
+// Reaching definitions over a FunctionCfg, solved by a classic worklist
+// iteration, and the def-use / use-def chains derived from the solution.
+//
+// A definition is (CFG node, variable): declarations and assignments
+// define their target; function parameters are modelled as definitions at
+// the synthetic entry node. GEN/KILL are per node; IN/OUT sets are dense
+// bitsets over the function's definitions. The solver iterates
+//
+//   IN[n]  = ∪_{p ∈ pred(n)} OUT[p]
+//   OUT[n] = GEN[n] ∪ (IN[n] − KILL[n])
+//
+// to a fixpoint. Chains link every variable *use* (a statement reading
+// the variable in its own expressions) to the definitions that may flow
+// into it — the backbone of the backward slicer and of the linter's
+// dead-write pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace tunio::analysis {
+
+struct Definition {
+  int node = -1;       ///< CFG node performing the definition
+  int stmt_id = -1;    ///< defining statement id; -1 for parameter defs
+  std::string name;    ///< variable defined
+};
+
+class ReachingDefinitions {
+ public:
+  ReachingDefinitions(const minic::Function& fn, const FunctionCfg& cfg);
+
+  const std::vector<Definition>& definitions() const { return defs_; }
+
+  /// Indices (into definitions()) of defs of `name` reaching the *entry*
+  /// of `node`.
+  std::vector<int> reaching(int node, const std::string& name) const;
+
+  /// Worklist passes until fixpoint (exposed for tests).
+  int solver_passes() const { return solver_passes_; }
+
+ private:
+  using Bits = std::vector<std::uint64_t>;
+  bool test(const Bits& bits, int i) const {
+    return (bits[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  const FunctionCfg* cfg_;
+  std::vector<Definition> defs_;
+  std::vector<Bits> in_, out_;
+  int solver_passes_ = 0;
+};
+
+/// Chains between statements (ids): a use maps to the definitions that
+/// may reach it; a definition maps to the uses it may reach. Parameter
+/// definitions have no statement and appear in neither map. A definition
+/// with an empty use set is a dead store.
+struct DefUseChains {
+  std::map<int, std::set<int>> use_to_defs;
+  std::map<int, std::set<int>> def_to_uses;
+
+  const std::set<int>& defs_of_use(int stmt_id) const {
+    static const std::set<int> kEmpty;
+    auto it = use_to_defs.find(stmt_id);
+    return it == use_to_defs.end() ? kEmpty : it->second;
+  }
+  const std::set<int>& uses_of_def(int stmt_id) const {
+    static const std::set<int> kEmpty;
+    auto it = def_to_uses.find(stmt_id);
+    return it == def_to_uses.end() ? kEmpty : it->second;
+  }
+};
+
+DefUseChains build_def_use(const minic::Function& fn, const FunctionCfg& cfg,
+                           const ReachingDefinitions& rd);
+
+}  // namespace tunio::analysis

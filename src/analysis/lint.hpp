@@ -1,0 +1,101 @@
+// I/O anti-pattern linter over the mini-C AST — static diagnostics for
+// the access patterns the simulated stack punishes, each carrying
+// machine-readable tuning hints (config-space parameter names) that
+// Smart Configuration Generation consumes to bias its impact ranking.
+//
+// Detected patterns:
+//   small-writes-in-loop      writes far below the stripe/buffer scale
+//                             issued inside a loop (per-op overhead and
+//                             RMW dominate);
+//   open-close-in-loop        file open/create/close churn inside a loop
+//                             (metadata-server round-trips per iteration);
+//   create-overwrite-in-loop  h5fcreate of the *same constant path* every
+//                             iteration — data loss plus metadata storm
+//                             (error severity);
+//   stripe-unaligned-access   chunk or strided-block byte sizes that are
+//                             not a multiple of the smallest stripe unit
+//                             (every access straddles an OST boundary);
+//   independent-io-in-loop    per-block strided transfers in a loop where
+//                             one collective transfer would coalesce;
+//   dead-write                an assignment whose value no later
+//                             statement can read (def-use chains);
+//   contiguous-large-access   informational: large contiguous slab
+//                             transfers — prioritize stripe-level
+//                             parallelism parameters.
+//
+// Byte sizes are estimated by constant-folding call arguments; dataset
+// element sizes are recovered through def-use chains (the handle's
+// reaching h5dcreate). Loop context is interprocedural: a function with
+// any call site inside a loop is analyzed as loop-resident.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace tunio::analysis {
+
+enum class LintKind {
+  kSmallWritesInLoop,
+  kOpenCloseInLoop,
+  kCreateOverwriteInLoop,
+  kStripeUnalignedAccess,
+  kIndependentIoInLoop,
+  kDeadWrite,
+  kContiguousLargeAccess,
+};
+
+enum class Severity { kInfo, kWarning, kError };
+
+std::string kind_name(LintKind kind);
+std::string severity_name(Severity severity);
+
+struct Diagnostic {
+  LintKind kind{};
+  Severity severity = Severity::kWarning;
+  int line = 0;
+  int column = 0;
+  std::string function;  ///< enclosing mini-C function
+  std::string message;
+  /// Machine-readable hints: config-space parameter names this finding
+  /// suggests prioritizing (e.g. "striping_factor", "cb_nodes").
+  std::vector<std::string> hint_params;
+};
+
+/// `<function>:<line>:<col>: <severity>: <kind>: <message> [hints: ...]`.
+std::string format(const Diagnostic& diagnostic);
+
+struct LintOptions {
+  /// Call-name prefixes treated as I/O (matches DiscoveryOptions).
+  std::vector<std::string> io_prefixes = {"h5"};
+  /// Writes below this estimated byte size count as "small".
+  std::uint64_t small_write_bytes = 64 * 1024;
+  /// Alignment boundary for stripe checks (the smallest striping_unit).
+  std::uint64_t stripe_alignment = 64 * 1024;
+  /// Contiguous transfers at or above this size are "large".
+  std::uint64_t large_access_bytes = 4 * 1024 * 1024;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool has_errors() const;
+  std::size_t count(LintKind kind) const;
+
+  /// Aggregated tuning hints: parameter name -> boost weight in (0, 1],
+  /// severity-weighted (error 3, warning 2, info 1) and normalized to a
+  /// max of 1. Feed to core::SmartConfigGen::apply_hints.
+  std::vector<std::pair<std::string, double>> tuning_hints() const;
+};
+
+LintReport lint(const minic::Program& program, const LintOptions& options = {});
+
+/// Convenience: parse + lint (lines/columns refer to `source` itself —
+/// no normalization round-trip, so locations are the real ones).
+LintReport lint_source(const std::string& source,
+                       const LintOptions& options = {});
+
+}  // namespace tunio::analysis

@@ -1,0 +1,176 @@
+#include "analysis/slicer.hpp"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "common/error.hpp"
+
+namespace tunio::analysis {
+
+using minic::Expr;
+using minic::ExprKind;
+using minic::Function;
+using minic::Program;
+using minic::Stmt;
+using minic::StmtKind;
+
+namespace {
+
+bool has_prefix(const std::string& name,
+                const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+class Slicer {
+ public:
+  Slicer(const Program& program, const std::vector<std::string>& io_prefixes)
+      : program_(program), io_prefixes_(io_prefixes), index_(program) {
+    for (const Function& fn : program.functions) {
+      auto cfg = std::make_unique<FunctionCfg>(build_cfg(fn));
+      auto rd = std::make_unique<ReachingDefinitions>(fn, *cfg);
+      chains_[&fn] = build_def_use(fn, *cfg, *rd);
+      cfgs_[&fn] = std::move(cfg);
+      rds_[&fn] = std::move(rd);
+    }
+    compute_io_functions();
+  }
+
+  SliceResult run() {
+    make_live("main");
+    // Seed: statements whose own expressions perform I/O.
+    for (int id : index_.ids()) {
+      if (stmt_does_io(*index_.record(id).stmt)) keep(id);
+    }
+    while (!worklist_.empty()) {
+      const int id = worklist_.front();
+      worklist_.pop_front();
+      process(id);
+    }
+    SliceResult result;
+    result.kept = std::move(kept_);
+    result.io_functions = std::move(io_functions_);
+    result.live_functions = std::move(live_);
+    return result;
+  }
+
+ private:
+  bool is_io_call(const Expr& e) const {
+    return e.kind == ExprKind::kCall &&
+           (has_prefix(e.text, io_prefixes_) || io_functions_.count(e.text));
+  }
+
+  bool stmt_does_io(const Stmt& stmt) const {
+    bool io = false;
+    for_each_own_expr(stmt, [&](const Expr& e) {
+      if (is_io_call(e)) io = true;
+    });
+    return io;
+  }
+
+  /// A user function performs I/O when its body (transitively) contains
+  /// an I/O-prefixed call — same fixpoint as the legacy marker.
+  void compute_io_functions() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Function& fn : program_.functions) {
+        if (io_functions_.count(fn.name)) continue;
+        bool contains = false;
+        for (int id : index_.function_stmts(fn)) {
+          if (stmt_does_io(*index_.record(id).stmt)) {
+            contains = true;
+            break;
+          }
+        }
+        if (contains) {
+          io_functions_.insert(fn.name);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  void keep(int id) {
+    if (id < 0 || kept_.count(id)) return;
+    kept_.insert(id);
+    worklist_.push_back(id);
+  }
+
+  void make_live(const std::string& name) {
+    if (live_.count(name)) return;
+    const Function* fn = program_.find(name);
+    if (fn == nullptr) return;
+    live_.insert(name);
+    // Control flow out of a surviving function is preserved: all its
+    // return statements are kept (mirrors the legacy marker, which the
+    // differential tests use as an over-approximation oracle).
+    for (int id : index_.function_stmts(*fn)) {
+      if (index_.record(id).stmt->kind == StmtKind::kReturn) keep(id);
+    }
+  }
+
+  void process(int id) {
+    const StmtRecord& rec = index_.record(id);
+    const Stmt& stmt = *rec.stmt;
+
+    // Control dependence: structural ancestors survive so the statement
+    // still executes under the same conditions (the ancestors' own
+    // conditions pull their data dependencies when processed).
+    if (rec.parent != nullptr) keep(rec.parent->id);
+
+    // A kept for-loop keeps its header machinery.
+    if (stmt.init) keep(stmt.init->id);
+    if (stmt.update) keep(stmt.update->id);
+
+    // Data dependence: reaching definitions of every name this statement
+    // reads.
+    const DefUseChains& chains = chains_.at(rec.function);
+    for (int def_id : chains.defs_of_use(id)) keep(def_id);
+
+    // Scope: the interpreter rejects reads of and assignments to
+    // undeclared names, so every referenced name keeps its declaration.
+    for (const std::string& name : names_used(stmt)) {
+      keep(index_.binding(id, name));
+    }
+    if (stmt.kind == StmtKind::kAssign) {
+      keep(index_.binding(id, stmt.name));
+    }
+
+    // Interprocedural: user functions invoked here survive.
+    for_each_own_expr(stmt, [&](const Expr& e) {
+      if (e.kind == ExprKind::kCall && program_.find(e.text) != nullptr) {
+        make_live(e.text);
+      }
+    });
+  }
+
+  const Program& program_;
+  const std::vector<std::string>& io_prefixes_;
+  ProgramIndex index_;
+  std::unordered_map<const Function*, std::unique_ptr<FunctionCfg>> cfgs_;
+  std::unordered_map<const Function*, std::unique_ptr<ReachingDefinitions>>
+      rds_;
+  std::unordered_map<const Function*, DefUseChains> chains_;
+  std::unordered_set<std::string> io_functions_;
+  std::unordered_set<std::string> live_;
+  std::set<int> kept_;
+  std::deque<int> worklist_;
+};
+
+}  // namespace
+
+SliceResult slice_io(const Program& program,
+                     const std::vector<std::string>& io_prefixes) {
+  TUNIO_CHECK_MSG(program.find("main") != nullptr,
+                  "slicer needs a main() function");
+  return Slicer(program, io_prefixes).run();
+}
+
+}  // namespace tunio::analysis

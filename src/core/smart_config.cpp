@@ -27,7 +27,30 @@ SmartConfigGen::SmartConfigGen(const cfg::ConfigSpace& space,
                 return q;
               }()),
       impact_(space.num_parameters(),
-              1.0 / static_cast<double>(space.num_parameters())) {}
+              1.0 / static_cast<double>(space.num_parameters())),
+      hint_boost_(space.num_parameters(), 0.0) {}
+
+void SmartConfigGen::apply_hints(
+    const std::vector<std::pair<std::string, double>>& hints) {
+  for (const auto& [name, weight] : hints) {
+    if (!space_.has(name)) continue;
+    const std::size_t idx = space_.index_of(name);
+    hint_boost_[idx] =
+        std::max(hint_boost_[idx], std::clamp(weight, 0.0, 1.0));
+  }
+  boost_impact();
+}
+
+void SmartConfigGen::boost_impact() {
+  double total = 0.0;
+  for (std::size_t i = 0; i < impact_.size(); ++i) {
+    impact_[i] *= 1.0 + hint_boost_[i];
+    total += impact_[i];
+  }
+  if (total > 0.0) {
+    for (double& x : impact_) x /= total;
+  }
+}
 
 std::vector<double> SmartConfigGen::context_vector(
     const std::vector<std::size_t>& subset, double norm_perf,
@@ -143,6 +166,10 @@ std::vector<std::vector<SweepSample>> SmartConfigGen::train_offline(
     impact_[i] = 0.5 * range_impact[i] + 0.5 * pca_impact[i];
   }
   normalize(impact_);
+  // Static-analysis hints survive retraining: the measured impact is
+  // re-biased so hinted parameters keep their head start in the ranking
+  // (and in the Q-value seeding below, which follows the ranking).
+  boost_impact();
 
   // Seed the picker's Q-values from the sweeps: the value of prefix size
   // k+1 is the impact mass it covers, discounted sub-linearly by subset

@@ -22,6 +22,8 @@
 // from every application it tunes.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -59,6 +61,19 @@ class SmartConfigGen {
   /// Per-parameter impact scores (sum to 1); valid after train_offline.
   const std::vector<double>& impact_scores() const { return impact_; }
 
+  /// Biases the impact ranking with static-analysis findings: each
+  /// (parameter name, weight in (0, 1]) pair — e.g. the linter's
+  /// LintReport::tuning_hints() — multiplies that parameter's impact by
+  /// (1 + weight). Boosts persist: train_offline re-applies them after
+  /// recomputing the measured impact, so a hinted parameter keeps its
+  /// head start in the ranking. Unknown parameter names are ignored
+  /// (hints may target layers a reduced space does not expose); repeated
+  /// calls keep the strongest boost per parameter.
+  void apply_hints(const std::vector<std::pair<std::string, double>>& hints);
+
+  /// Hint boosts currently in force (one per parameter, 0 = unhinted).
+  const std::vector<double>& hint_boosts() const { return hint_boost_; }
+
   /// Parameters sorted by descending impact.
   std::vector<std::size_t> ranking() const;
 
@@ -77,6 +92,8 @@ class SmartConfigGen {
                                      double norm_perf,
                                      double norm_gain) const;
   std::vector<std::size_t> prefix_subset(std::size_t size) const;
+  /// Multiplies impact_ by (1 + hint_boost_) and renormalizes.
+  void boost_impact();
 
   const cfg::ConfigSpace& space_;
   SmartConfigOptions options_;
@@ -84,6 +101,7 @@ class SmartConfigGen {
   rl::StateObserver observer_;
   rl::QAgent picker_;
   std::vector<double> impact_;
+  std::vector<double> hint_boost_;
   bool offline_trained_ = false;
 
   // Online episode state.

@@ -19,6 +19,13 @@ discovery::KernelResult TunIO::discover_io(
   return discovery::discover_io(source_code, options);
 }
 
+analysis::LintReport TunIO::lint_source(
+    const std::string& source_code) const {
+  analysis::LintOptions lint_options;
+  lint_options.io_prefixes = options_.discovery.io_prefixes;
+  return analysis::lint_source(source_code, lint_options);
+}
+
 void TunIO::train_offline(
     const std::vector<tuner::Objective*>& sweep_kernels) {
   smart_config_.train_offline(sweep_kernels);

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/lint.hpp"
 #include "core/early_stopping.hpp"
 #include "core/smart_config.hpp"
 #include "discovery/discovery.hpp"
@@ -48,6 +49,19 @@ class TunIO {
   /// Table I `stop`: iteration + best perf → stop/continue (true = stop).
   bool stop(unsigned current_iteration, double best_perf_mbps) {
     return early_stopping_.stop(current_iteration, best_perf_mbps);
+  }
+
+  /// Lints `source_code` for I/O anti-patterns. Parses the source
+  /// directly (no normalization round-trip), so diagnostic line/column
+  /// numbers refer to the original text. Uses the discovery options'
+  /// I/O prefixes.
+  analysis::LintReport lint_source(const std::string& source_code) const;
+
+  /// Seeds Smart Configuration Generation with a lint report's tuning
+  /// hints: parameters implicated by the diagnostics get their impact
+  /// boosted, moving them up the subset ranking before any measurement.
+  void apply_lint_hints(const analysis::LintReport& report) {
+    smart_config_.apply_hints(report.tuning_hints());
   }
 
   /// Offline training of both RL components. `sweep_kernels` are the

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/slicer.hpp"
 #include "common/error.hpp"
 #include "minic/parser.hpp"
 #include "minic/printer.hpp"
@@ -418,11 +419,29 @@ KernelResult discover_io(const Program& program,
   }
   working.next_stmt_id = program.next_stmt_id;
 
+  // The Marker is constructed either way: its io-function fixpoint also
+  // drives loop reduction, and it is the fallback engine.
   Marker marker(working, options.io_prefixes);
-  std::set<int> kept = marker.run();
+  KernelResult result;
+  std::set<int> kept;
+  if (options.engine == MarkingEngine::kDataflowSlicer) {
+    try {
+      kept = analysis::slice_io(working, options.io_prefixes).kept;
+      result.engine_used = MarkingEngine::kDataflowSlicer;
+    } catch (const Error&) {
+      // Slicer rejected the program; fall back to the coarser marker so
+      // discovery still yields a kernel (mirrors the paper's fall-back-
+      // to-full-application stance at the marking layer).
+      kept = marker.run();
+      result.engine_used = MarkingEngine::kLegacyMarker;
+      result.used_fallback = true;
+    }
+  } else {
+    kept = marker.run();
+    result.engine_used = MarkingEngine::kLegacyMarker;
+  }
   for (int id : options.manual_keep) kept.insert(id);
 
-  KernelResult result;
   result.kept_stmt_ids = kept;
 
   // Reconstruct: keep only marked statements (functions whose bodies end

@@ -1,8 +1,9 @@
 // AST for mini-C.
 //
-// Nodes carry their source line (discovery marks per line, as the paper
-// does after its clang-format one-statement-per-line normalization) and a
-// unique statement id (used by the marking fixpoint).
+// Nodes carry their source line and column (discovery marks per line, as
+// the paper does after its clang-format one-statement-per-line
+// normalization; the linter reports both) and a unique statement id (used
+// by the marking fixpoint and the dataflow slicer).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +29,7 @@ using ExprPtr = std::unique_ptr<Expr>;
 struct Expr {
   ExprKind kind{};
   int line = 0;
+  int col = 0;  ///< 1-based column of the node's leading token
 
   std::int64_t int_value = 0;   // kIntLit
   double float_value = 0.0;     // kFloatLit
@@ -53,7 +55,8 @@ using StmtPtr = std::unique_ptr<Stmt>;
 struct Stmt {
   StmtKind kind{};
   int line = 0;
-  int id = 0;  ///< unique within a Program, assigned by the parser
+  int col = 0;  ///< 1-based column of the statement's leading token
+  int id = 0;   ///< unique within a Program, assigned by the parser
 
   // kDecl
   std::string decl_type;  // "int" | "double" | "string"

@@ -70,13 +70,17 @@ std::vector<Token> lex(const std::string& source) {
   std::vector<Token> tokens;
   std::size_t i = 0;
   int line = 1;
+  std::size_t line_start = 0;  // offset of the current line's first char
   const std::size_t n = source.size();
 
+  // Every token is pushed while `i` still points at its first character,
+  // so the column is always derivable from the line start.
   auto push = [&](TokenKind kind, std::string text = {}) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.line = line;
+    t.column = static_cast<int>(i - line_start) + 1;
     tokens.push_back(std::move(t));
   };
 
@@ -85,6 +89,7 @@ std::vector<Token> lex(const std::string& source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -99,7 +104,10 @@ std::vector<Token> lex(const std::string& source) {
     if (c == '/' && i + 1 < n && source[i + 1] == '*') {
       i += 2;
       while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
-        if (source[i] == '\n') ++line;
+        if (source[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         ++i;
       }
       if (i + 1 >= n) fail(line, "unterminated block comment");
@@ -135,6 +143,7 @@ std::vector<Token> lex(const std::string& source) {
       const std::string num = source.substr(i, j - i);
       Token t;
       t.line = line;
+      t.column = static_cast<int>(i - line_start) + 1;
       t.text = num;
       if (is_float) {
         t.kind = TokenKind::kFloatLiteral;
@@ -211,6 +220,7 @@ std::vector<Token> lex(const std::string& source) {
   Token end;
   end.kind = TokenKind::kEnd;
   end.line = line;
+  end.column = static_cast<int>(i - line_start) + 1;
   tokens.push_back(end);
   return tokens;
 }

@@ -45,10 +45,11 @@ class Parser {
            kind == TokenKind::kStringKw;
   }
 
-  StmtPtr make_stmt(StmtKind kind, int line) {
+  StmtPtr make_stmt(StmtKind kind, const Token& at) {
     auto stmt = std::make_unique<Stmt>();
     stmt->kind = kind;
-    stmt->line = line;
+    stmt->line = at.line;
+    stmt->col = at.column;
     stmt->id = next_id_++;
     return stmt;
   }
@@ -77,7 +78,7 @@ class Parser {
 
   StmtPtr parse_block() {
     const Token open = expect(TokenKind::kLBrace, "to open block");
-    StmtPtr block = make_stmt(StmtKind::kBlock, open.line);
+    StmtPtr block = make_stmt(StmtKind::kBlock, open);
     while (!at(TokenKind::kRBrace) && !at(TokenKind::kEnd)) {
       block->statements.push_back(parse_statement());
     }
@@ -103,7 +104,7 @@ class Parser {
         return parse_if();
       case TokenKind::kReturn: {
         advance();
-        StmtPtr ret = make_stmt(StmtKind::kReturn, tok.line);
+        StmtPtr ret = make_stmt(StmtKind::kReturn, tok);
         if (!at(TokenKind::kSemicolon)) ret->value = parse_expression();
         expect(TokenKind::kSemicolon, "after return");
         return ret;
@@ -121,7 +122,7 @@ class Parser {
   StmtPtr parse_declaration() {
     const Token type = advance();
     const Token name = expect(TokenKind::kIdentifier, "as variable name");
-    StmtPtr decl = make_stmt(StmtKind::kDecl, type.line);
+    StmtPtr decl = make_stmt(StmtKind::kDecl, type);
     decl->decl_type = type.text;
     decl->name = name.text;
     if (at(TokenKind::kAssign)) {
@@ -136,13 +137,12 @@ class Parser {
     if (at(TokenKind::kIdentifier) && peek(1).kind == TokenKind::kAssign) {
       const Token name = advance();
       advance();  // '='
-      StmtPtr assign = make_stmt(StmtKind::kAssign, name.line);
+      StmtPtr assign = make_stmt(StmtKind::kAssign, name);
       assign->name = name.text;
       assign->value = parse_expression();
       return assign;
     }
-    const int line = peek().line;
-    StmtPtr stmt = make_stmt(StmtKind::kExprStmt, line);
+    StmtPtr stmt = make_stmt(StmtKind::kExprStmt, peek());
     stmt->value = parse_expression();
     return stmt;
   }
@@ -150,7 +150,7 @@ class Parser {
   StmtPtr parse_for() {
     const Token kw = expect(TokenKind::kFor, "");
     expect(TokenKind::kLParen, "after 'for'");
-    StmtPtr stmt = make_stmt(StmtKind::kFor, kw.line);
+    StmtPtr stmt = make_stmt(StmtKind::kFor, kw);
     if (!at(TokenKind::kSemicolon)) {
       stmt->init = is_type(peek().kind) ? parse_declaration()
                                         : parse_assign_or_expr();
@@ -167,7 +167,7 @@ class Parser {
   StmtPtr parse_while() {
     const Token kw = expect(TokenKind::kWhile, "");
     expect(TokenKind::kLParen, "after 'while'");
-    StmtPtr stmt = make_stmt(StmtKind::kWhile, kw.line);
+    StmtPtr stmt = make_stmt(StmtKind::kWhile, kw);
     stmt->cond = parse_expression();
     expect(TokenKind::kRParen, "after while-condition");
     stmt->body = parse_block();
@@ -177,7 +177,7 @@ class Parser {
   StmtPtr parse_if() {
     const Token kw = expect(TokenKind::kIf, "");
     expect(TokenKind::kLParen, "after 'if'");
-    StmtPtr stmt = make_stmt(StmtKind::kIf, kw.line);
+    StmtPtr stmt = make_stmt(StmtKind::kIf, kw);
     stmt->cond = parse_expression();
     expect(TokenKind::kRParen, "after if-condition");
     stmt->body = parse_block();
@@ -191,10 +191,11 @@ class Parser {
 
   // --- expressions (precedence climbing) --------------------------------
 
-  ExprPtr make_expr(ExprKind kind, int line) {
+  ExprPtr make_expr(ExprKind kind, const Token& at) {
     auto e = std::make_unique<Expr>();
     e->kind = kind;
-    e->line = line;
+    e->line = at.line;
+    e->col = at.column;
     return e;
   }
 
@@ -204,7 +205,7 @@ class Parser {
     ExprPtr lhs = parse_and();
     while (at(TokenKind::kOrOr)) {
       const Token op = advance();
-      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      ExprPtr node = make_expr(ExprKind::kBinary, op);
       node->text = "||";
       node->children.push_back(std::move(lhs));
       node->children.push_back(parse_and());
@@ -217,7 +218,7 @@ class Parser {
     ExprPtr lhs = parse_equality();
     while (at(TokenKind::kAndAnd)) {
       const Token op = advance();
-      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      ExprPtr node = make_expr(ExprKind::kBinary, op);
       node->text = "&&";
       node->children.push_back(std::move(lhs));
       node->children.push_back(parse_equality());
@@ -230,7 +231,7 @@ class Parser {
     ExprPtr lhs = parse_relational();
     while (at(TokenKind::kEqEq) || at(TokenKind::kNotEq)) {
       const Token op = advance();
-      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      ExprPtr node = make_expr(ExprKind::kBinary, op);
       node->text = op.kind == TokenKind::kEqEq ? "==" : "!=";
       node->children.push_back(std::move(lhs));
       node->children.push_back(parse_relational());
@@ -244,7 +245,7 @@ class Parser {
     while (at(TokenKind::kLess) || at(TokenKind::kLessEq) ||
            at(TokenKind::kGreater) || at(TokenKind::kGreaterEq)) {
       const Token op = advance();
-      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      ExprPtr node = make_expr(ExprKind::kBinary, op);
       switch (op.kind) {
         case TokenKind::kLess: node->text = "<"; break;
         case TokenKind::kLessEq: node->text = "<="; break;
@@ -262,7 +263,7 @@ class Parser {
     ExprPtr lhs = parse_multiplicative();
     while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
       const Token op = advance();
-      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      ExprPtr node = make_expr(ExprKind::kBinary, op);
       node->text = op.kind == TokenKind::kPlus ? "+" : "-";
       node->children.push_back(std::move(lhs));
       node->children.push_back(parse_multiplicative());
@@ -276,7 +277,7 @@ class Parser {
     while (at(TokenKind::kStar) || at(TokenKind::kSlash) ||
            at(TokenKind::kPercent)) {
       const Token op = advance();
-      ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+      ExprPtr node = make_expr(ExprKind::kBinary, op);
       node->text = op.kind == TokenKind::kStar
                        ? "*"
                        : op.kind == TokenKind::kSlash ? "/" : "%";
@@ -290,7 +291,7 @@ class Parser {
   ExprPtr parse_unary() {
     if (at(TokenKind::kMinus) || at(TokenKind::kNot)) {
       const Token op = advance();
-      ExprPtr node = make_expr(ExprKind::kUnary, op.line);
+      ExprPtr node = make_expr(ExprKind::kUnary, op);
       node->text = op.kind == TokenKind::kMinus ? "-" : "!";
       node->children.push_back(parse_unary());
       return node;
@@ -303,21 +304,21 @@ class Parser {
     switch (tok.kind) {
       case TokenKind::kIntLiteral: {
         advance();
-        ExprPtr node = make_expr(ExprKind::kIntLit, tok.line);
+        ExprPtr node = make_expr(ExprKind::kIntLit, tok);
         node->int_value = tok.int_value;
         node->text = tok.text;
         return node;
       }
       case TokenKind::kFloatLiteral: {
         advance();
-        ExprPtr node = make_expr(ExprKind::kFloatLit, tok.line);
+        ExprPtr node = make_expr(ExprKind::kFloatLit, tok);
         node->float_value = tok.float_value;
         node->text = tok.text;
         return node;
       }
       case TokenKind::kStringLiteral: {
         advance();
-        ExprPtr node = make_expr(ExprKind::kStringLit, tok.line);
+        ExprPtr node = make_expr(ExprKind::kStringLit, tok);
         node->text = tok.text;
         return node;
       }
@@ -325,7 +326,7 @@ class Parser {
         advance();
         if (at(TokenKind::kLParen)) {
           advance();
-          ExprPtr call = make_expr(ExprKind::kCall, tok.line);
+          ExprPtr call = make_expr(ExprKind::kCall, tok);
           call->text = tok.text;
           while (!at(TokenKind::kRParen)) {
             call->children.push_back(parse_expression());
@@ -336,7 +337,7 @@ class Parser {
           expect(TokenKind::kRParen, "after call arguments");
           return call;
         }
-        ExprPtr var = make_expr(ExprKind::kVar, tok.line);
+        ExprPtr var = make_expr(ExprKind::kVar, tok);
         var->text = tok.text;
         return var;
       }
@@ -368,6 +369,7 @@ ExprPtr clone(const Expr& expr) {
   auto copy = std::make_unique<Expr>();
   copy->kind = expr.kind;
   copy->line = expr.line;
+  copy->col = expr.col;
   copy->int_value = expr.int_value;
   copy->float_value = expr.float_value;
   copy->text = expr.text;
@@ -382,6 +384,7 @@ StmtPtr clone(const Stmt& stmt) {
   auto copy = std::make_unique<Stmt>();
   copy->kind = stmt.kind;
   copy->line = stmt.line;
+  copy->col = stmt.col;
   copy->id = stmt.id;
   copy->decl_type = stmt.decl_type;
   copy->name = stmt.name;

@@ -58,6 +58,7 @@ struct Token {
   std::int64_t int_value = 0;
   double float_value = 0.0;
   int line = 0;            ///< 1-based source line
+  int column = 0;          ///< 1-based source column of the first character
 };
 
 std::string token_kind_name(TokenKind kind);

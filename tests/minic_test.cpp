@@ -31,6 +31,57 @@ TEST(Lexer, TokenKinds) {
   EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
 }
 
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = lex("int x = 1;\n  x = 2;");
+  // "int" at 1:1, "x" at 1:5; second-line "x" at 2:3 (after the indent).
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 1);
+  EXPECT_EQ(tokens[1].column, 5);
+  EXPECT_EQ(tokens[5].line, 2);
+  EXPECT_EQ(tokens[5].column, 3);
+}
+
+TEST(Lexer, ColumnResetsAfterBlockComment) {
+  const auto tokens = lex("/* multi\nline */ int y;");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].line, 2);
+  EXPECT_EQ(tokens[0].column, 9);  // after "line */ "
+}
+
+TEST(Parser, PropagatesLineAndColumnIntoAst) {
+  const Program program = parse(
+      "int main()\n"
+      "{\n"
+      "  int a = 1;\n"
+      "  if (a > 0)\n"
+      "  {\n"
+      "    a = f(a + 2);\n"
+      "  }\n"
+      "  return a;\n"
+      "}\n");
+  const Stmt& body = *program.functions[0].body;
+  const Stmt& decl = *body.statements[0];
+  EXPECT_EQ(decl.line, 3);
+  EXPECT_EQ(decl.col, 3);
+  const Stmt& branch = *body.statements[1];
+  EXPECT_EQ(branch.line, 4);
+  EXPECT_EQ(branch.col, 3);
+  const Stmt& assign = *branch.body->statements[0];
+  EXPECT_EQ(assign.line, 6);
+  EXPECT_EQ(assign.col, 5);
+  // The call expression carries its own position...
+  const Expr& call = *assign.value;
+  EXPECT_EQ(call.kind, ExprKind::kCall);
+  EXPECT_EQ(call.line, 6);
+  EXPECT_EQ(call.col, 9);
+  // ...and clones preserve both.
+  const StmtPtr copy = clone(assign);
+  EXPECT_EQ(copy->line, 6);
+  EXPECT_EQ(copy->col, 5);
+  EXPECT_EQ(copy->value->col, 9);
+}
+
 TEST(Lexer, OperatorsAndComments) {
   const auto tokens = lex(R"(
     // line comment
