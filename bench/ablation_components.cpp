@@ -11,7 +11,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_components");
   bench::banner("Ablation", "component contributions on BD-CATS",
                 "(not a paper figure) each TunIO component should improve "
                 "RoTI: subsets converge faster, RL stopping quits at the "
@@ -53,11 +54,18 @@ int main() {
                 run.result.generations_run,
                 bench::fmt_min(run.result.total_seconds / 60.0).c_str(),
                 core::final_roti(run.result));
+    const std::string tag = std::string(row.subsets ? "s" : "x") +
+                            (row.rl_stop ? "r" : "x") +
+                            (row.kernel ? "k" : "x");
+    bench::value("tuned_mbps_" + tag, run.result.best_perf, "MB/s",
+                 /*gate=*/true);
+    bench::value("budget_min_" + tag, run.result.total_seconds / 60.0, "min",
+                 /*gate=*/true, bench::Direction::kLowerIsBetter);
   }
 
   std::printf("\nReading the table: RL stopping slashes the budget at near-"
               "equal bandwidth; subsets mainly accelerate the early "
               "iterations; kernels divide every evaluation's cost. The "
               "full stack compounds all three, as in Fig. 11.\n");
-  return 0;
+  return bench::finish();
 }

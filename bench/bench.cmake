@@ -4,7 +4,7 @@
 set(TUNIO_BENCH_LIBS
   tunio_core tunio_service tunio_tuner tunio_rl tunio_nn tunio_workloads
   tunio_interp tunio_discovery tunio_minic tunio_config tunio_trace
-  tunio_hdf5lite tunio_mpiio tunio_mpisim tunio_pfs tunio_common)
+  tunio_hdf5lite tunio_mpiio tunio_mpisim tunio_pfs tunio_obs tunio_common)
 
 add_library(tunio_bench_common STATIC ${CMAKE_SOURCE_DIR}/bench/common.cpp)
 target_link_libraries(tunio_bench_common PUBLIC ${TUNIO_BENCH_LIBS})

@@ -1,8 +1,115 @@
 #include "common.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace tunio::bench {
+
+namespace {
+
+struct RecordedValue {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  bool gate = false;
+  Direction direction = Direction::kHigherIsBetter;
+};
+
+struct RecordedSummary {
+  std::string metric;
+  std::string measured;
+  std::string paper;
+};
+
+struct Report {
+  std::string bench;
+  bool json = false;
+  std::string path;
+  std::chrono::steady_clock::time_point started;
+  std::vector<RecordedValue> values;
+  std::vector<RecordedSummary> summaries;
+};
+
+Report g_report;
+
+}  // namespace
+
+void init(int argc, char** argv, const std::string& name) {
+  g_report = {};
+  g_report.bench = name;
+  g_report.path = "BENCH_" + name + ".json";
+  g_report.started = std::chrono::steady_clock::now();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      g_report.json = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      g_report.json = true;
+      g_report.path = arg + 7;
+    }
+  }
+}
+
+void value(const std::string& name, double v, const std::string& unit,
+           bool gate, Direction direction) {
+  g_report.values.push_back({name, v, unit, gate, direction});
+}
+
+int finish(int rc) {
+  if (!g_report.json) return rc;
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_report.started)
+          .count();
+
+  obs::Json values = obs::Json::array();
+  for (const RecordedValue& v : g_report.values) {
+    obs::Json row = obs::Json::object();
+    row.set("name", obs::Json::string(v.name));
+    row.set("value", obs::Json::number(v.value));
+    row.set("unit", obs::Json::string(v.unit));
+    row.set("gate", obs::Json::boolean(v.gate));
+    row.set("direction",
+            obs::Json::string(v.direction == Direction::kHigherIsBetter
+                                  ? "higher_is_better"
+                                  : "lower_is_better"));
+    values.push_back(std::move(row));
+  }
+
+  obs::Json summaries = obs::Json::array();
+  for (const RecordedSummary& s : g_report.summaries) {
+    obs::Json row = obs::Json::object();
+    row.set("metric", obs::Json::string(s.metric));
+    row.set("measured", obs::Json::string(s.measured));
+    row.set("paper", obs::Json::string(s.paper));
+    summaries.push_back(std::move(row));
+  }
+
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", obs::Json::string("tunio.bench.v1"));
+  doc.set("bench", obs::Json::string(g_report.bench));
+  doc.set("exit_code", obs::Json::number(rc));
+  doc.set("wall_seconds", obs::Json::number(wall_seconds));
+  doc.set("values", std::move(values));
+  doc.set("summaries", std::move(summaries));
+  doc.set("metrics", obs::MetricsRegistry::global().snapshot().to_json());
+
+  std::FILE* out = std::fopen(g_report.path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", g_report.path.c_str());
+    return rc == 0 ? 1 : rc;
+  }
+  const std::string text = doc.dump(2);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("\n[json] wrote %s\n", g_report.path.c_str());
+  return rc;
+}
 
 void banner(const std::string& figure, const std::string& title,
             const std::string& paper_says) {
@@ -17,6 +124,7 @@ void summary(const std::string& metric, const std::string& measured,
              const std::string& paper) {
   std::printf("  %-46s measured: %-18s paper: %s\n", metric.c_str(),
               measured.c_str(), paper.c_str());
+  g_report.summaries.push_back({metric, measured, paper});
 }
 
 void section(const std::string& heading) {

@@ -25,11 +25,34 @@
 
 namespace tunio::bench {
 
+/// Which way a gated value regresses (for the CI perf gate).
+enum class Direction { kHigherIsBetter, kLowerIsBetter };
+
+/// Initializes the shared bench harness. Recognizes `--json[=path]`:
+/// when present, `finish()` writes a schema-stable `BENCH_<name>.json`
+/// (default path: current directory) with every `value()` recorded, the
+/// `summary()` rows, wall/simulated time and a metrics-registry
+/// snapshot. Call first in every bench main.
+void init(int argc, char** argv, const std::string& name);
+
+/// Records one named numeric result. Gated values (`gate = true`) are
+/// compared against `bench/baselines/BENCH_<name>.json` by the CI perf
+/// gate; only deterministic simulated metrics should be gated — never
+/// wall-clock readings, which vary across runners.
+void value(const std::string& name, double v, const std::string& unit,
+           bool gate = false,
+           Direction direction = Direction::kHigherIsBetter);
+
+/// Finishes the bench: writes the JSON report when `--json` was given.
+/// Returns `rc` so mains can `return bench::finish(rc);`.
+int finish(int rc = 0);
+
 /// Prints the figure banner: id, title, what the paper reports.
 void banner(const std::string& figure, const std::string& title,
             const std::string& paper_says);
 
-/// Prints a one-line measured-vs-paper comparison row.
+/// Prints a one-line measured-vs-paper comparison row (also recorded in
+/// the JSON report).
 void summary(const std::string& metric, const std::string& measured,
              const std::string& paper);
 

@@ -12,7 +12,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig01_search_space");
   bench::banner("Figure 1", "I/O library parameter permutations",
                 "HDF5+MPI stack ~3.81e21 permutations; multilayer tuning "
                 "explodes the search space");
@@ -62,5 +63,11 @@ int main() {
   bench::summary("HDF5+MPI permutations", measured, "3.81e21");
   std::snprintf(measured, sizeof measured, "%.3g", space.permutations());
   bench::summary("12-parameter evaluation space", measured, ">2.18e9");
-  return 0;
+
+  bench::value("hdf5_mpi_permutations",
+               cfg::stack_permutations({find("HDF5"), find("MPI")}),
+               "configs", /*gate=*/true);
+  bench::value("tunio12_permutations", space.permutations(), "configs",
+               /*gate=*/true);
+  return bench::finish();
 }

@@ -10,7 +10,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig02_tuning_curves");
   bench::banner("Figure 2", "HSTuner tuning curves (HACC, FLASH, VPIC)",
                 "bandwidth rises steeply in early iterations and "
                 "plateaus — a log-shaped curve for every kernel");
@@ -42,10 +43,16 @@ int main() {
     std::printf("  gain captured by iteration %zu: %.0f%%\n",
                 history.size() / 2,
                 total_gain > 0 ? 100.0 * half_gain / total_gain : 0.0);
+
+    bench::value(row.label + std::string("_tuned_mbps"),
+                 run.result.best_perf, "MB/s", /*gate=*/true);
+    bench::value(row.label + std::string("_budget_min"),
+                 run.result.total_seconds / 60.0, "min", /*gate=*/true,
+                 bench::Direction::kLowerIsBetter);
   }
 
   bench::section("summary vs paper");
   bench::summary("curve shape", "steep rise then plateau (see above)",
                  "logarithmic growth, attenuating returns");
-  return 0;
+  return bench::finish();
 }

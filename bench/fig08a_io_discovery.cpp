@@ -21,7 +21,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig08a_io_discovery");
   bench::banner("Figure 8(a)", "RoTI with vs without I/O Discovery (MACSio)",
                 "peak RoTI 2.87 (kernel) vs 2.47 (full app); time to peak "
                 "RoTI 549 vs 639 min (-14%)");
@@ -99,5 +100,14 @@ int main() {
                 bench::fmt_bw(full_run.best_perf).c_str());
   bench::summary("tuned bandwidth (kernel vs full)", buf,
                  "same performance gain");
-  return 0;
+
+  bench::value("kernel_peak_roti", kernel_peak.roti, "MB/s/min",
+               /*gate=*/true);
+  bench::value("full_peak_roti", full_peak.roti, "MB/s/min", /*gate=*/true);
+  bench::value("kernel_time_to_peak_min", kernel_peak.minutes, "min",
+               /*gate=*/true, bench::Direction::kLowerIsBetter);
+  bench::value("kernel_tuned_mbps", kernel_run.best_perf, "MB/s",
+               /*gate=*/true);
+  bench::value("full_tuned_mbps", full_run.best_perf, "MB/s", /*gate=*/true);
+  return bench::finish();
 }

@@ -15,7 +15,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig08b_loop_reduction");
   bench::banner("Figure 8(b)", "RoTI with loop reduction (1% of iterations)",
                 "peak RoTI 23.30 vs 2.47 for the full application (>9x); "
                 "reported bandwidths 97.10% accurate");
@@ -77,5 +78,10 @@ int main() {
   bench::summary("peak RoTI (reduced vs full)", buf, "23.30 vs 2.47 (>9x)");
   std::snprintf(buf, sizeof buf, "%.2f%%", accuracy);
   bench::summary("reported-bandwidth accuracy", buf, "97.10%");
-  return 0;
+
+  bench::value("reduced_peak_roti", reduced_peak.roti, "MB/s/min",
+               /*gate=*/true);
+  bench::value("full_peak_roti", full_peak.roti, "MB/s/min", /*gate=*/true);
+  bench::value("bandwidth_accuracy_pct", accuracy, "%", /*gate=*/true);
+  return bench::finish();
 }

@@ -43,7 +43,8 @@ double pct_error(double measured, double truth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig08c_kernel_similarity");
   bench::banner("Figure 8(c)",
                 "kernel fidelity: bytes written & write operations",
                 "bytes-written error <1% for both kernels (0.0002% / "
@@ -94,5 +95,14 @@ int main() {
               "operation-count error comes from dropped logging writes "
               "(kernel) partially offset by per-iteration metadata that "
               "extrapolation over-counts (reduced kernel).\n");
-  return 0;
+
+  bench::value("kernel_bytes_error_pct", kernel_bytes_err, "%", /*gate=*/true,
+               bench::Direction::kLowerIsBetter);
+  bench::value("reduced_bytes_error_pct", reduced_bytes_err, "%",
+               /*gate=*/true, bench::Direction::kLowerIsBetter);
+  bench::value("kernel_ops_error_pct", kernel_ops_err, "%", /*gate=*/true,
+               bench::Direction::kLowerIsBetter);
+  bench::value("reduced_ops_error_pct", reduced_ops_err, "%", /*gate=*/true,
+               bench::Direction::kLowerIsBetter);
+  return bench::finish();
 }

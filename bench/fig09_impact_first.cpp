@@ -12,7 +12,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig09_impact_first");
   bench::banner("Figure 9", "Impact-First tuning on the FLASH I/O kernel",
                 "target bandwidth reached at iteration 6 vs 43 (-86.05% "
                 "iterations); 7 of 12 parameters changed from defaults");
@@ -69,5 +70,11 @@ int main() {
   }
   std::snprintf(buf, sizeof buf, "%d of 12", changed);
   bench::summary("parameters changed from defaults", buf, "7 of 12");
-  return 0;
+
+  bench::value("impact_first_target_iter", impact_iter, "iterations",
+               /*gate=*/true, bench::Direction::kLowerIsBetter);
+  bench::value("baseline_target_iter", baseline_iter, "iterations",
+               /*gate=*/true, bench::Direction::kLowerIsBetter);
+  bench::value("parameters_changed", changed, "params");
+  return bench::finish();
 }

@@ -15,7 +15,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig10a_early_stop_bw");
   bench::banner("Figure 10(a)", "early stopping on HACC: RL vs heuristic",
                 "RL stop at iter 35/50 with ~4x gain; heuristic trapped by "
                 "the iteration 10-20 plateau, stopping at 14 with only 2x");
@@ -75,5 +76,14 @@ int main() {
                 missed / std::max(1e-9, untuned));
   bench::summary("bandwidth left on the table by stopping", buf,
                  "0.08 GB/s (0.14x)");
-  return 0;
+
+  bench::value("rl_stop_tuned_mbps", rl_run.result.best_perf, "MB/s",
+               /*gate=*/true);
+  bench::value("rl_stop_iterations", rl_run.result.generations_run,
+               "iterations", /*gate=*/true,
+               bench::Direction::kLowerIsBetter);
+  bench::value("heuristic_tuned_mbps", heuristic_run.result.best_perf,
+               "MB/s", /*gate=*/true);
+  bench::value("untuned_mbps", untuned, "MB/s", /*gate=*/true);
+  return bench::finish();
 }

@@ -14,7 +14,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig10b_early_stop_roti");
   bench::banner("Figure 10(b)", "RoTI of stopping policies on HACC",
                 "perfect 2.31 (stop at 35); TunIO 2.00 (90.5%); MaxPerf "
                 "1.99 (86.1%); heuristic 1.37 (59.3%); full budget 1.8 "
@@ -98,5 +99,14 @@ int main() {
       100.0 * (1.0 - rl_run.result.total_seconds /
                          std::max(1.0, maxperf_run.result.total_seconds)));
   bench::summary("TunIO vs MaxPerf time", buf, "744 vs 800 min (-7.61%)");
-  return 0;
+
+  bench::value("rl_return_pct_of_perfect",
+               100.0 * core::final_roti(rl_run.result) / perfect.roti, "%",
+               /*gate=*/true);
+  bench::value("heuristic_return_pct_of_perfect",
+               100.0 * core::final_roti(heuristic_run.result) / perfect.roti,
+               "%", /*gate=*/true);
+  bench::value("rl_budget_min", rl_run.result.total_seconds / 60.0, "min",
+               /*gate=*/true, bench::Direction::kLowerIsBetter);
+  return bench::finish();
 }

@@ -16,7 +16,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig11a_pipeline_bw");
   bench::banner("Figure 11(a)", "full pipeline on BD-CATS: bandwidth",
                 "TunIO peaks by iter 6, stops at 9, ~468 min (-73% vs "
                 "HSTuner's 1750); HSTuner no-stop edges out ~3% more "
@@ -92,5 +93,13 @@ int main() {
                 bench::fmt_bw(heuristic.best_perf).c_str(),
                 heuristic.total_seconds / 60.0);
   bench::summary("HSTuner heuristic outcome", buf, "47.7 GB/s in 538 min");
-  return 0;
+
+  bench::value("tunio_tuned_mbps", tunio_run.best_perf, "MB/s",
+               /*gate=*/true);
+  bench::value("tunio_budget_min", tunio_run.total_seconds / 60.0, "min",
+               /*gate=*/true, bench::Direction::kLowerIsBetter);
+  bench::value("hstuner_tuned_mbps", hstuner.best_perf, "MB/s",
+               /*gate=*/true);
+  bench::value("hstuner_budget_min", hstuner.total_seconds / 60.0, "min");
+  return bench::finish();
 }

@@ -11,7 +11,8 @@
 
 using namespace tunio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig11b_pipeline_roti");
   bench::banner("Figure 11(b)", "full pipeline on BD-CATS: RoTI",
                 "TunIO 215 vs heuristic 41.6 (+173.4 MB/s/min); with the "
                 "I/O kernel: TunIO 250, heuristic 91.6");
@@ -68,5 +69,12 @@ int main() {
   std::snprintf(buf, sizeof buf, "%.1f MB/s/min",
                 rotis[1].second - rotis[0].second);
   bench::summary("TunIO gain over heuristic", buf, "173.4 MB/s/min");
-  return 0;
+
+  bench::value("tunio_roti", rotis[1].second, "MB/s/min", /*gate=*/true);
+  bench::value("heuristic_roti", rotis[0].second, "MB/s/min", /*gate=*/true);
+  bench::value("tunio_kernel_roti", rotis[3].second, "MB/s/min",
+               /*gate=*/true);
+  bench::value("heuristic_kernel_roti", rotis[2].second, "MB/s/min",
+               /*gate=*/true);
+  return bench::finish();
 }

@@ -27,7 +27,8 @@ double production_run_minutes(const cfg::StackSettings& settings) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig12_viability");
   bench::banner("Figure 12", "lifecycle viability of tuning BD-CATS",
                 "TunIO tunes in 403 min (H5Tuner: 1560); viability at 1394 "
                 "executions vs 5274 (-73.6%); TunIO stays ahead of H5Tuner "
@@ -108,5 +109,12 @@ int main() {
                 100.0 * (1.0 - tunio_viability / h5_viability));
   bench::summary("viability point (executions)", buf,
                  "1394 vs 5274 (-73.6%)");
-  return 0;
+
+  bench::value("tunio_tuning_min", tunio_tune, "min", /*gate=*/true,
+               bench::Direction::kLowerIsBetter);
+  bench::value("h5tuner_tuning_min", h5_tune, "min");
+  bench::value("tunio_viability_executions", tunio_viability, "executions",
+               /*gate=*/true, bench::Direction::kLowerIsBetter);
+  bench::value("h5tuner_viability_executions", h5_viability, "executions");
+  return bench::finish();
 }

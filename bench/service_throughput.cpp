@@ -121,7 +121,8 @@ void report(const std::string& regime, const RegimeResult& r) {
               r.serial_budget == r.parallel_budget ? "yes" : "NO — BUG");
 }
 
-int run() {
+int run(int argc, char** argv) {
+  init(argc, argv, "service_throughput");
   banner("service_throughput",
          "parallel evaluation engine vs. serial generation scoring",
          "n/a (service extension): target >= 3x on a 16-individual "
@@ -173,10 +174,20 @@ int run() {
               : "no",
           "required");
   const bool ok = speedup >= 3.0 && cpu.identical && lat.identical;
-  return ok ? 0 : 1;
+
+  value("latency_speedup_x", speedup, "x", /*gate=*/true);
+  value("latency_evals_per_sec",
+        lat.parallel_wall > 0 ? kPopulation / lat.parallel_wall : 0.0,
+        "evals/s", /*gate=*/true);
+  value("cpu_speedup_x",
+        cpu.parallel_wall > 0 ? cpu.serial_wall / cpu.parallel_wall : 0.0,
+        "x");
+  value("results_identical",
+        (cpu.identical && lat.identical) ? 1.0 : 0.0, "bool", /*gate=*/true);
+  return finish(ok ? 0 : 1);
 }
 
 }  // namespace
 }  // namespace tunio::bench
 
-int main() { return tunio::bench::run(); }
+int main(int argc, char** argv) { return tunio::bench::run(argc, argv); }

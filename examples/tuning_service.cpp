@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "config/space.hpp"
+#include "core/early_stopping.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "service/tuning_server.hpp"
 #include "tuner/objective.hpp"
 #include "workloads/workload.hpp"
@@ -52,6 +55,14 @@ void print_progress(const service::TuningServer& server,
 }  // namespace
 
 int main() {
+  // Record the whole service session as a Chrome trace: PFS requests and
+  // MPI collectives on the per-run clock, GA generations and RL stop
+  // decisions on the budget clock. The cap keeps the trace file small —
+  // overflow is counted, not fatal.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_capacity(1u << 16);
+  tracer.enable();
+
   const cfg::ConfigSpace space = cfg::ConfigSpace::tunio12();
 
   service::ServerOptions options;
@@ -71,6 +82,15 @@ int main() {
     job.name = "hacc";
     job.objective = kernel_objective(wl::make_hacc({1u << 18}));
     job.ga = ga;
+    // Consult the RL early-stopping agent after every generation. With
+    // min_iterations (10) above this job's 6-generation budget it never
+    // actually stops — but every consultation lands in the trace as an
+    // "rl" decision with the agent's Q-values.
+    auto stopper = std::make_shared<core::EarlyStopping>();
+    job.stopper = [stopper](unsigned generation,
+                            const tuner::TuningResult& progress) {
+      return stopper->stop(generation, progress.best_perf);
+    };
     ids.push_back(server.submit(job));
   }
   {
@@ -143,5 +163,27 @@ int main() {
     std::printf("cache checkpointed to %s (%zu entries reloadable)\n",
                 path.c_str(), warm.size());
   }
+
+  // Observability wrap-up: dump the recorded trace (openable in
+  // chrome://tracing / Perfetto) and the process-wide metric totals.
+  const std::string trace_path = "tuning_service_trace.json";
+  if (tracer.write_file(trace_path)) {
+    std::printf("\ntrace written to %s (%zu events, %llu dropped)\n",
+                trace_path.c_str(), tracer.size(),
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  const obs::MetricsSnapshot metrics = obs::MetricsRegistry::global().snapshot();
+  const std::uint64_t collectives =
+      metrics.counter("mpi.barriers") + metrics.counter("mpi.allreduces") +
+      metrics.counter("mpi.gathers") + metrics.counter("mpi.broadcasts");
+  std::printf("metrics: %llu PFS reads, %llu PFS writes, %llu MPI "
+              "collectives, %llu tuner generations, %llu RL stop decisions\n",
+              static_cast<unsigned long long>(metrics.counter("pfs.reads")),
+              static_cast<unsigned long long>(metrics.counter("pfs.writes")),
+              static_cast<unsigned long long>(collectives),
+              static_cast<unsigned long long>(
+                  metrics.counter("tuner.generations")),
+              static_cast<unsigned long long>(
+                  metrics.counter("rl.early_stop.decisions")));
   return 0;
 }

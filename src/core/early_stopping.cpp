@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace tunio::core {
 
@@ -108,9 +110,10 @@ bool EarlyStopping::stop(unsigned current_iteration, double best_perf_mbps) {
   last_return_ = now_return;
   last_state_ = state;
 
-  if (current_iteration + 1 < options_.min_iterations) return false;
   bool should_stop;
-  if (options_.expected_production_runs == 0) {
+  if (current_iteration + 1 < options_.min_iterations) {
+    should_stop = false;
+  } else if (options_.expected_production_runs == 0) {
     should_stop = agent_.best_action(state) == kStop;
   } else {
     // Production-run-aware stopping: a user who will run the tuned
@@ -127,6 +130,25 @@ bool EarlyStopping::stop(unsigned current_iteration, double best_perf_mbps) {
   if (should_stop) {
     agent_.observe(state, kStop, 0.0, state, true);
     agent_.learn(1);
+  }
+
+  static obs::Counter* decisions =
+      &obs::MetricsRegistry::global().counter("rl.early_stop.decisions");
+  static obs::Counter* stops =
+      &obs::MetricsRegistry::global().counter("rl.early_stop.stops");
+  decisions->add(1);
+  if (should_stop) stops->add(1);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // The agent runs between generations with no clock of its own; the
+    // ambient timestamp is the tuner's budget clock at the call site.
+    const std::vector<double> q = agent_.q_values(state);
+    tracer.instant("rl", should_stop ? "early_stop.stop" : "early_stop.continue",
+                   obs::Tracer::ambient_seconds(), obs::kPidRl, /*tid=*/0,
+                   {{"iteration", std::to_string(current_iteration)},
+                    {"best_mbps", obs::json_number(best_perf_mbps)},
+                    {"q_continue", obs::json_number(q[kContinue])},
+                    {"q_stop", obs::json_number(q[kStop])}});
   }
   return should_stop;
 }

@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "nn/pca.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace tunio::core {
 
@@ -230,6 +232,20 @@ std::vector<std::size_t> SmartConfigGen::subset_picker(
   last_state_ = state;
   last_action_ = action;
   has_last_ = true;
+
+  static obs::Counter* picks =
+      &obs::MetricsRegistry::global().counter("rl.subset_picker.decisions");
+  picks->add(1);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // Picker decisions live between generations; stamp them with the
+    // tuner's ambient budget time (see GeneticTuner::run).
+    tracer.instant("rl", "subset_pick", obs::Tracer::ambient_seconds(),
+                   obs::kPidRl, /*tid=*/1,
+                   {{"subset_size", std::to_string(action + 1)},
+                    {"perf_mbps", obs::json_number(perf_mbps)},
+                    {"gain", obs::json_number(gain)}});
+  }
   return prefix_subset(action + 1);
 }
 

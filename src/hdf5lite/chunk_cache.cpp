@@ -3,8 +3,36 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace tunio::h5 {
+
+namespace {
+
+/// Cached registry handles (see PfsMetrics for the pattern rationale).
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& bypasses;
+  obs::Counter& evictions;
+  obs::Counter& dirty_evictions;
+
+  static CacheMetrics& get() {
+    static CacheMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+      return new CacheMetrics{
+          registry.counter("h5.chunk_cache.hits"),
+          registry.counter("h5.chunk_cache.misses"),
+          registry.counter("h5.chunk_cache.bypasses"),
+          registry.counter("h5.chunk_cache.evictions"),
+          registry.counter("h5.chunk_cache.dirty_evictions"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 ChunkCache::ChunkCache(ChunkCacheProps props, Bytes chunk_bytes)
     : props_(props), chunk_bytes_(chunk_bytes) {
@@ -12,6 +40,15 @@ ChunkCache::ChunkCache(ChunkCacheProps props, Bytes chunk_bytes)
   const auto by_bytes =
       static_cast<std::size_t>(props_.rdcc_nbytes / chunk_bytes_);
   max_resident_ = std::min<std::size_t>(by_bytes, props_.rdcc_nslots);
+}
+
+ChunkCache::~ChunkCache() {
+  CacheMetrics& metrics = CacheMetrics::get();
+  metrics.hits.add(stats_.hits);
+  metrics.misses.add(stats_.misses);
+  metrics.bypasses.add(stats_.bypasses);
+  metrics.evictions.add(stats_.evictions);
+  metrics.dirty_evictions.add(stats_.dirty_evictions);
 }
 
 bool ChunkCache::resident(const ChunkKey& key) const {

@@ -56,6 +56,9 @@ struct ChunkCacheStats {
 class ChunkCache {
  public:
   ChunkCache(ChunkCacheProps props, Bytes chunk_bytes);
+  /// Flushes accumulated stats into the global metrics registry
+  /// (`h5.chunk_cache.*` series).
+  ~ChunkCache();
 
   /// Touches `key` for a write covering `covered_bytes` of the chunk
   /// (`chunk_was_allocated` says whether the chunk already exists on disk,

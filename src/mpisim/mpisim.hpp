@@ -28,6 +28,12 @@ struct MpiProfile {
 class MpiSim {
  public:
   explicit MpiSim(unsigned num_ranks, MpiProfile profile = {});
+  /// Flushes accumulated collective counters into the global metrics
+  /// registry (`mpi.*` series).
+  ~MpiSim();
+
+  MpiSim(const MpiSim&) = delete;
+  MpiSim& operator=(const MpiSim&) = delete;
 
   unsigned size() const { return static_cast<unsigned>(clocks_.size()); }
   unsigned num_nodes() const;
@@ -65,8 +71,26 @@ class MpiSim {
  private:
   SimSeconds tree_latency() const;
 
+  /// Records one finished collective: counters plus, when tracing is on,
+  /// a cat="mpi" span covering [first rank arrived, everyone left).
+  void note_collective(const char* name, std::uint64_t& counter,
+                       SimSeconds start, SimSeconds end, Bytes bytes);
+
+  /// Publishes counters accumulated since the last publish.
+  void publish_metrics();
+
   MpiProfile profile_;
   std::vector<SimSeconds> clocks_;
+
+  // Accumulated locally and flushed at teardown/reset so the collective
+  // hot path stays free of shared atomics.
+  std::uint64_t barriers_ = 0;
+  std::uint64_t allreduces_ = 0;
+  std::uint64_t gathers_ = 0;
+  std::uint64_t broadcasts_ = 0;
+  std::uint64_t sends_ = 0;
+  Bytes collective_bytes_ = 0;
+  SimSeconds sync_stall_seconds_ = 0.0;  ///< sum over ranks of wait time
 };
 
 }  // namespace tunio::mpisim

@@ -1,0 +1,393 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace tunio::obs {
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::number(double value) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = value;
+  return j;
+}
+
+Json Json::string(std::string value) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  TUNIO_CHECK_MSG(is_bool(), "JSON: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  TUNIO_CHECK_MSG(is_number(), "JSON: not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  TUNIO_CHECK_MSG(is_string(), "JSON: not a string");
+  return string_;
+}
+
+const Json::Array& Json::items() const {
+  TUNIO_CHECK_MSG(is_array(), "JSON: not an array");
+  return array_;
+}
+
+const Json::Object& Json::members() const {
+  TUNIO_CHECK_MSG(is_object(), "JSON: not an object");
+  return object_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json& Json::push_back(Json value) {
+  TUNIO_CHECK_MSG(is_array(), "JSON: push_back on non-array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json value) {
+  TUNIO_CHECK_MSG(is_object(), "JSON: set on non-object");
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  return buf;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  std::string pad;
+  std::string close_pad;
+  if (pretty) {
+    pad.assign(1, '\n');
+    pad.append(static_cast<std::size_t>(indent) *
+                   (static_cast<std::size_t>(depth) + 1),
+               ' ');
+    close_pad.assign(1, '\n');
+    close_pad.append(
+        static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+        ' ');
+  }
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += json_number(number_); break;
+    case Type::kString: out += json_quote(string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += pad;
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += pad;
+        out += json_quote(object_[i].first);
+        out += pretty ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json document() {
+    Json value = parse_value();
+    skip_ws();
+    TUNIO_CHECK_MSG(pos_ == text_.size(),
+                    "JSON: trailing characters at offset " +
+                        std::to_string(pos_));
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error("JSON: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  void append_utf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  unsigned hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        TUNIO_CHECK_MSG(static_cast<unsigned char>(c) >= 0x20,
+                        "JSON: raw control character in string");
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: must pair with \uDC00..\uDFFF.
+            if (!literal("\\u")) fail("unpaired surrogate");
+            const unsigned low = hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    if (pos_ >= text_.size()) fail("truncated number");
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    try {
+      std::size_t used = 0;
+      const std::string slice = text_.substr(start, pos_ - start);
+      const double value = std::stod(slice, &used);
+      if (used != slice.size()) fail("malformed number");
+      return Json::number(value);
+    } catch (const Error&) {
+      throw;
+    } catch (...) {
+      fail("malformed number");
+    }
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        Json obj = Json::object();
+        if (consume('}')) return obj;
+        do {
+          std::string key = parse_string();
+          expect(':');
+          obj.set(std::move(key), parse_value());
+        } while (consume(','));
+        expect('}');
+        return obj;
+      }
+      case '[': {
+        ++pos_;
+        Json arr = Json::array();
+        if (consume(']')) return arr;
+        do {
+          arr.push_back(parse_value());
+        } while (consume(','));
+        expect(']');
+        return arr;
+      }
+      case '"': return Json::string(parse_string());
+      case 't':
+        if (literal("true")) return Json::boolean(true);
+        fail("bad literal");
+      case 'f':
+        if (literal("false")) return Json::boolean(false);
+        fail("bad literal");
+      case 'n':
+        if (literal("null")) return Json();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).document(); }
+
+}  // namespace tunio::obs

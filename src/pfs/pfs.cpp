@@ -3,8 +3,54 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace tunio::pfs {
+
+namespace {
+
+/// Cached handles into the global registry — resolved once per process,
+/// so publishing is a handful of relaxed atomic adds.
+struct PfsMetrics {
+  obs::Counter& reads;
+  obs::Counter& writes;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+  obs::Counter& metadata_ops;
+  obs::Counter& rmw_bytes;
+  obs::Counter& simulators;
+  obs::Gauge& ost_busy_seconds;
+  obs::Histogram& read_sizes;
+  obs::Histogram& write_sizes;
+
+  static PfsMetrics& get() {
+    static PfsMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+      return new PfsMetrics{
+          registry.counter("pfs.reads"),
+          registry.counter("pfs.writes"),
+          registry.counter("pfs.bytes_read"),
+          registry.counter("pfs.bytes_written"),
+          registry.counter("pfs.metadata_ops"),
+          registry.counter("pfs.rmw_bytes"),
+          registry.counter("pfs.simulators_retired"),
+          registry.gauge("pfs.ost_busy_seconds"),
+          registry.histogram("pfs.read_size_bytes",
+                             obs::darshan_size_bounds()),
+          registry.histogram("pfs.write_size_bytes",
+                             obs::darshan_size_bounds()),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+std::vector<std::uint64_t> histogram_counts(const SizeHistogram& sizes) {
+  return {sizes.counts.begin(), sizes.counts.end()};
+}
+
+}  // namespace
 
 void SizeHistogram::record(Bytes size) {
   std::size_t bucket;
@@ -51,6 +97,49 @@ PfsSimulator::PfsSimulator(PfsProfile profile)
       network_(profile.network.aggregate_bandwidth,
                profile.network.message_latency) {
   TUNIO_CHECK_MSG(profile_.num_osts > 0, "PFS needs at least one OST");
+}
+
+PfsSimulator::~PfsSimulator() {
+  publish_metrics();
+  PfsMetrics::get().simulators.add(1);
+}
+
+void PfsSimulator::publish_metrics() {
+  // Publishing happens at coarse boundaries (teardown, reset, quiesce)
+  // rather than per request: that keeps the hot I/O path free of shared
+  // atomics, at the cost of the registry lagging by the runs in flight.
+  PfsCounters delta = counters_;
+  delta -= flushed_;
+  flushed_ = counters_;
+  PfsMetrics& metrics = PfsMetrics::get();
+  metrics.reads.add(delta.reads);
+  metrics.writes.add(delta.writes);
+  metrics.bytes_read.add(delta.bytes_read);
+  metrics.bytes_written.add(delta.bytes_written);
+  metrics.metadata_ops.add(delta.metadata_ops);
+  metrics.rmw_bytes.add(delta.rmw_bytes);
+  metrics.read_sizes.add_bucketed(histogram_counts(delta.read_sizes),
+                                  static_cast<double>(delta.bytes_read));
+  metrics.write_sizes.add_bucketed(histogram_counts(delta.write_sizes),
+                                   static_cast<double>(delta.bytes_written));
+  // OST busy time needs no flushed-baseline: every publish point rewinds
+  // the timelines (or destroys them), so each busy span is added once.
+  SimSeconds busy = 0.0;
+  for (const ResourceTimeline& ost : osts_) busy += ost.busy_time();
+  metrics.ost_busy_seconds.add(busy);
+}
+
+void PfsSimulator::note_io(bool is_write, Bytes length, SimSeconds start,
+                           SimSeconds end) {
+  if (observer_ != nullptr) {
+    observer_->on_io(IoRequest{is_write, length, start, end});
+  }
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.span("pfs", is_write ? "write" : "read", start, end,
+                obs::kPidStack, /*tid=*/0,
+                {{"bytes", obs::json_number(static_cast<double>(length))}});
+  }
 }
 
 SimSeconds PfsSimulator::create(const std::string& path, SimSeconds start,
@@ -144,12 +233,17 @@ SimSeconds PfsSimulator::write(const std::string& path, SimSeconds start,
   counters_.bytes_written += length;
   counters_.write_sizes.record(length);
   file.size = std::max(file.size, offset + length);
-  if (file.tier == Tier::kMemory) return memory_io(start, length);
+  if (file.tier == Tier::kMemory) {
+    const SimSeconds done = memory_io(start, length);
+    note_io(/*is_write=*/true, length, start, done);
+    return done;
+  }
 
   SimSeconds done = start;
   for (const StripeExtent& extent : file.layout.split(offset, length)) {
     done = std::max(done, service_extent(file, extent, start, /*write=*/true));
   }
+  note_io(/*is_write=*/true, length, start, done);
   return done;
 }
 
@@ -159,12 +253,17 @@ SimSeconds PfsSimulator::read(const std::string& path, SimSeconds start,
   ++counters_.reads;
   counters_.bytes_read += length;
   counters_.read_sizes.record(length);
-  if (file.tier == Tier::kMemory) return memory_io(start, length);
+  if (file.tier == Tier::kMemory) {
+    const SimSeconds done = memory_io(start, length);
+    note_io(/*is_write=*/false, length, start, done);
+    return done;
+  }
 
   SimSeconds done = start;
   for (const StripeExtent& extent : file.layout.split(offset, length)) {
     done = std::max(done, service_extent(file, extent, start, /*write=*/false));
   }
+  note_io(/*is_write=*/false, length, start, done);
   return done;
 }
 
@@ -192,15 +291,18 @@ std::vector<SimSeconds> PfsSimulator::ost_busy_times() const {
 }
 
 void PfsSimulator::reset() {
+  publish_metrics();
   for (ResourceTimeline& ost : osts_) ost.reset();
   mds_.reset();
   network_.reset();
   files_.clear();
   counters_ = {};
+  flushed_ = {};
   next_ost_offset_ = 0;
 }
 
 void PfsSimulator::quiesce() {
+  publish_metrics();
   for (ResourceTimeline& ost : osts_) ost.reset();
   mds_.reset();
   network_.reset();

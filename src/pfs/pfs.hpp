@@ -114,9 +114,29 @@ struct CreateOptions {
   Tier tier = Tier::kDisk;
 };
 
+/// One completed client-level I/O request (what a Darshan wrapper sees).
+struct IoRequest {
+  bool is_write = false;
+  Bytes bytes = 0;
+  SimSeconds start = 0.0;  ///< caller's clock when the request was issued
+  SimSeconds end = 0.0;    ///< completion time
+};
+
+/// Observes every completed read/write against a simulator — the hook
+/// `RunMeter` uses to recover op-level I/O windows for runs that never
+/// mark phases, without polling counters.
+class IoObserver {
+ public:
+  virtual ~IoObserver() = default;
+  virtual void on_io(const IoRequest& request) = 0;
+};
+
 class PfsSimulator {
  public:
   explicit PfsSimulator(PfsProfile profile = {});
+  /// Flushes this simulator's accumulated counters into the global
+  /// metrics registry (`pfs.*` series).
+  ~PfsSimulator();
 
   PfsSimulator(const PfsSimulator&) = delete;
   PfsSimulator& operator=(const PfsSimulator&) = delete;
@@ -151,6 +171,11 @@ class PfsSimulator {
 
   const PfsCounters& counters() const { return counters_; }
 
+  /// At most one observer at a time; nullptr detaches. The observer must
+  /// outlive its registration.
+  void set_io_observer(IoObserver* observer) { observer_ = observer; }
+  IoObserver* io_observer() const { return observer_; }
+
   /// Per-OST busy time (utilization diagnostics for benches).
   std::vector<SimSeconds> ost_busy_times() const;
 
@@ -180,12 +205,21 @@ class PfsSimulator {
 
   SimSeconds memory_io(SimSeconds start, Bytes length) const;
 
+  /// Tells the observer and tracer about one completed request.
+  void note_io(bool is_write, Bytes length, SimSeconds start, SimSeconds end);
+
+  /// Publishes counters accumulated since the last publish (and current
+  /// OST busy time) into the global metrics registry.
+  void publish_metrics();
+
   PfsProfile profile_;
   std::vector<ResourceTimeline> osts_;
   ResourceTimeline mds_;
   SharedChannel network_;
   std::map<std::string, File> files_;
   PfsCounters counters_;
+  PfsCounters flushed_;  ///< already published to the metrics registry
+  IoObserver* observer_ = nullptr;
   unsigned next_ost_offset_ = 0;  ///< round-robin start OST for new files
 };
 

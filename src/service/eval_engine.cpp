@@ -2,7 +2,27 @@
 
 #include <exception>
 
+#include "obs/metrics.hpp"
+
 namespace tunio::service {
+
+namespace {
+
+// Engine throughput is the service's headline metric, so these publish
+// live (per task/batch, not per simulated op — cheap enough).
+obs::Counter& engine_tasks_counter() {
+  static obs::Counter* counter =
+      &obs::MetricsRegistry::global().counter("service.engine.tasks");
+  return *counter;
+}
+
+obs::Counter& engine_batches_counter() {
+  static obs::Counter* counter =
+      &obs::MetricsRegistry::global().counter("service.engine.batches");
+  return *counter;
+}
+
+}  // namespace
 
 EvalEngine::EvalEngine(EngineOptions options) {
   unsigned workers = options.workers;
@@ -45,6 +65,7 @@ void EvalEngine::worker_loop() {
     }
     task();
     tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+    engine_tasks_counter().add(1);
   }
 }
 
@@ -57,6 +78,7 @@ std::vector<tuner::Evaluation> EvalEngine::evaluate_batch(
     const std::vector<tuner::Evaluation> results =
         objective.evaluate_batch(configs);
     batches_completed_.fetch_add(1, std::memory_order_relaxed);
+    engine_batches_counter().add(1);
     return results;
   }
 
@@ -88,6 +110,7 @@ std::vector<tuner::Evaluation> EvalEngine::evaluate_batch(
   state->done.wait(lock, [&] { return state->remaining == 0; });
   if (state->error) std::rethrow_exception(state->error);
   batches_completed_.fetch_add(1, std::memory_order_relaxed);
+  engine_batches_counter().add(1);
   return results;
 }
 

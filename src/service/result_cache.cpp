@@ -8,8 +8,36 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace tunio::service {
+
+namespace {
+
+/// Cached registry handles (see PfsMetrics for the pattern rationale).
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& insertions;
+  obs::Counter& evictions;
+  obs::Gauge& seconds_saved;
+
+  static CacheMetrics& get() {
+    static CacheMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+      return new CacheMetrics{
+          registry.counter("service.cache.hits"),
+          registry.counter("service.cache.misses"),
+          registry.counter("service.cache.insertions"),
+          registry.counter("service.cache.evictions"),
+          registry.gauge("service.cache.seconds_saved"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 std::size_t ResultCache::KeyHash::operator()(const Key& key) const {
   return static_cast<std::size_t>(
@@ -43,9 +71,12 @@ std::optional<tuner::Evaluation> ResultCache::get(
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    CacheMetrics::get().misses.add(1);
     return std::nullopt;
   }
   ++shard.hits;
+  CacheMetrics::get().hits.add(1);
+  CacheMetrics::get().seconds_saved.add(it->second->second.eval_seconds);
   shard.seconds_saved += it->second->second.eval_seconds;
   // Refresh recency.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -67,10 +98,12 @@ void ResultCache::put(std::uint64_t fingerprint,
   shard.lru.emplace_front(key, eval);
   shard.index.emplace(std::move(key), shard.lru.begin());
   ++shard.insertions;
+  CacheMetrics::get().insertions.add(1);
   if (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.evictions;
+    CacheMetrics::get().evictions.add(1);
   }
 }
 

@@ -4,9 +4,37 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "service/service_objective.hpp"
 
 namespace tunio::service {
+
+namespace {
+
+/// Cached registry handles (see PfsMetrics for the pattern rationale).
+struct ServerMetrics {
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& cancelled;
+  obs::Counter& failed;
+  obs::Gauge& running;
+
+  static ServerMetrics& get() {
+    static ServerMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+      return new ServerMetrics{
+          registry.counter("service.server.jobs_submitted"),
+          registry.counter("service.server.jobs_completed"),
+          registry.counter("service.server.jobs_cancelled"),
+          registry.counter("service.server.jobs_failed"),
+          registry.gauge("service.server.jobs_running"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 std::string job_state_name(JobState state) {
   switch (state) {
@@ -72,6 +100,7 @@ JobId TuningServer::submit(JobSpec spec) {
     jobs_.emplace(id, std::move(job));
     pending_.push_back(id);
   }
+  ServerMetrics::get().submitted.add(1);
   job_ready_.notify_one();
   return id;
 }
@@ -177,7 +206,9 @@ void TuningServer::scheduler_loop() {
       job->state = JobState::kRunning;
       job->snapshot.state = JobState::kRunning;
     }
+    ServerMetrics::get().running.add(1.0);
     run_job(*job);
+    ServerMetrics::get().running.add(-1.0);
     job_update_.notify_all();
   }
 }
@@ -226,8 +257,10 @@ void TuningServer::run_job(Job& job) {
     job.snapshot.cache_misses = objective.cache_misses();
     if (cancelled) {
       ++jobs_cancelled_;
+      ServerMetrics::get().cancelled.add(1);
     } else {
       ++jobs_completed_;
+      ServerMetrics::get().completed.add(1);
     }
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -235,6 +268,7 @@ void TuningServer::run_job(Job& job) {
     job.snapshot.state = JobState::kFailed;
     job.snapshot.error = e.what();
     ++jobs_failed_;
+    ServerMetrics::get().failed.add(1);
   }
 }
 

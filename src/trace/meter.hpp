@@ -48,11 +48,13 @@ struct PerfResult {
   RunCounters counters;
 };
 
-class RunMeter {
+class RunMeter : public pfs::IoObserver {
  public:
   RunMeter(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs);
+  ~RunMeter() override;
 
-  /// Starts metering (snapshots clocks and counters).
+  /// Starts metering (snapshots clocks and counters, and registers as
+  /// the simulator's I/O observer to collect op-level timestamps).
   void begin();
 
   /// Enters a phase; implicitly closes the previous one. Time between
@@ -62,8 +64,23 @@ class RunMeter {
   /// Finishes metering and computes the objective.
   PerfResult end();
 
+  /// IoObserver: records the op into the per-direction I/O window
+  /// (chains to any previously registered observer).
+  void on_io(const pfs::IoRequest& request) override;
+
  private:
+  /// [first op issued, last op completed) for one direction.
+  struct IoWindow {
+    bool seen = false;
+    SimSeconds first_start = 0.0;
+    SimSeconds last_end = 0.0;
+
+    void cover(SimSeconds start, SimSeconds end);
+    SimSeconds span() const { return seen ? last_end - first_start : 0.0; }
+  };
+
   void close_phase();
+  void detach();
 
   mpisim::MpiSim& mpi_;
   pfs::PfsSimulator& fs_;
@@ -73,6 +90,9 @@ class RunMeter {
   SimSeconds run_start_ = 0.0;
   pfs::PfsCounters snapshot_;
   RunCounters counters_;
+  pfs::IoObserver* prev_observer_ = nullptr;
+  IoWindow read_window_;
+  IoWindow write_window_;
 };
 
 /// Computes perf from already-known bandwidth components (used by the RL

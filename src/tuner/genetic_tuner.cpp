@@ -4,8 +4,35 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace tunio::tuner {
+
+namespace {
+
+/// Cached registry handles (see PfsMetrics for the pattern rationale).
+struct TunerMetrics {
+  obs::Counter& generations;
+  obs::Counter& evaluations;
+  obs::Counter& cache_hits;
+  obs::Gauge& budget_seconds;
+
+  static TunerMetrics& get() {
+    static TunerMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+      return new TunerMetrics{
+          registry.counter("tuner.generations"),
+          registry.counter("tuner.evaluations"),
+          registry.counter("tuner.fitness_cache_hits"),
+          registry.gauge("tuner.budget_seconds"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 GeneticTuner::GeneticTuner(const cfg::ConfigSpace& space, Objective& objective,
                            GaOptions options)
@@ -66,6 +93,8 @@ double GeneticTuner::evaluate_population(const std::vector<Genome>& population,
   const std::vector<Evaluation> fresh = objective_.evaluate_batch(batch);
   TUNIO_CHECK_MSG(fresh.size() == batch.size(),
                   "evaluate_batch returned wrong arity");
+  TunerMetrics::get().evaluations.add(batch.size());
+  TunerMetrics::get().cache_hits.add(population.size() - batch_slot.size());
 
   // Budget accounting sums the *simulated* cost of the fresh evaluations
   // — never wall-clock — so a parallel engine bills exactly what a
@@ -142,7 +171,12 @@ TuningResult GeneticTuner::run() {
     }
 
     // Evaluate the population (one batch; possibly in parallel).
+    const double generation_start = cumulative_seconds;
     cumulative_seconds += evaluate_population(population, scores);
+    // Downstream RL hooks (stoppers, subset pickers) run between
+    // generations and own no clock; the ambient timestamp hands them the
+    // tuning-budget time so their trace events land on the right axis.
+    obs::Tracer::set_ambient_seconds(cumulative_seconds);
     double generation_best = -1.0;
     for (std::size_t i = 0; i < population.size(); ++i) {
       generation_best = std::max(generation_best, scores[i]);
@@ -166,6 +200,20 @@ TuningResult GeneticTuner::run() {
     result.best_config = to_config(best_genome);
     result.total_seconds = cumulative_seconds;
     result.generations_run = generation + 1;
+
+    TunerMetrics::get().generations.add(1);
+    TunerMetrics::get().budget_seconds.add(cumulative_seconds -
+                                           generation_start);
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      // Generations live on the cumulative tuning-budget clock, a
+      // different axis from the per-run sim clocks of the stack spans.
+      tracer.span("tuner", "generation", generation_start, cumulative_seconds,
+                  obs::kPidTuner, /*tid=*/0,
+                  {{"generation", std::to_string(generation)},
+                   {"best_mbps", obs::json_number(best_perf)},
+                   {"gen_best_mbps", obs::json_number(generation_best)}});
+    }
 
     // Early stopping hook.
     if (stopper_ && stopper_(generation, result)) {

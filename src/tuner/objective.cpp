@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "minic/parser.hpp"
+#include "obs/metrics.hpp"
 
 namespace tunio::tuner {
 
@@ -54,6 +55,10 @@ class ObjectiveBase : public Objective {
     eval.eval_seconds =
         seconds_sum / testbed_.runs_per_eval + testbed_.launch_overhead_seconds;
     evaluations_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Histogram* perf_hist =
+        &obs::MetricsRegistry::global().histogram(
+            "tuner.eval.perf_mbps", {100.0, 1000.0, 5000.0, 20000.0});
+    perf_hist->observe(eval.perf_mbps, name());
     return eval;
   }
 

@@ -78,6 +78,28 @@ TEST(RunMeter, UnphasedRunFallsBackToWholeRunBandwidth) {
   EXPECT_DOUBLE_EQ(result.perf_mbps, result.bw_write_mbps);
 }
 
+TEST(RunMeter, UnphasedBandwidthUsesIoWindowNotElapsed) {
+  mpisim::MpiSim mpi(2);
+  pfs::PfsSimulator fs;
+  fs.create("/f", 0.0);
+  RunMeter meter(mpi, fs);
+  meter.begin();
+  mpi.compute(0, 100.0);  // long unphased compute before the I/O
+  const SimSeconds start = mpi.max_clock();
+  const SimSeconds done = fs.write("/f", start, 0, 10 * MiB);
+  for (unsigned r = 0; r < 2; ++r) mpi.set_clock(r, done);
+  const PerfResult result = meter.end();
+  // The observer-collected window excludes the compute prefix, so the
+  // reported bandwidth is the I/O-window rate, far above the diluted
+  // whole-run-elapsed rate the old fallback would have reported.
+  const double elapsed_bw =
+      to_mbps(static_cast<double>(10 * MiB) / result.counters.elapsed);
+  const double window_bw =
+      to_mbps(static_cast<double>(10 * MiB) / (done - start));
+  EXPECT_NEAR(result.bw_write_mbps, window_bw, window_bw * 1e-9);
+  EXPECT_GT(result.bw_write_mbps, 2.0 * elapsed_bw);
+}
+
 TEST(RunMeter, OnlyCountsItsOwnWindow) {
   mpisim::MpiSim mpi(2);
   pfs::PfsSimulator fs;

@@ -1,0 +1,152 @@
+// CI perf-regression gate over bench `--json` reports.
+//
+//   perf_gate <baseline.json> <measured.json> [--tolerance 0.15]
+//
+// Both files must be `tunio.bench.v1` documents. Every value marked
+// `gate: true` in the BASELINE is looked up in the measured report and
+// compared with the given relative tolerance in its recorded direction
+// (`higher_is_better` values may not drop more than tolerance below the
+// baseline; `lower_is_better` values may not rise more than tolerance
+// above it). Improvements never fail. Gated baseline values missing
+// from the measured report fail the gate — a silently dropped metric is
+// a regression in coverage, not a pass.
+//
+// Exit code: 0 = within tolerance, 1 = regression or schema problem.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using tunio::obs::Json;
+
+Json load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw tunio::Error("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Json::parse(text.str());
+}
+
+void check_schema(const Json& doc, const std::string& path) {
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "tunio.bench.v1") {
+    throw tunio::Error(path + ": not a tunio.bench.v1 report");
+  }
+  for (const char* key : {"bench", "values", "metrics"}) {
+    if (doc.find(key) == nullptr) {
+      throw tunio::Error(path + ": missing required field '" +
+                         std::string(key) + "'");
+    }
+  }
+}
+
+struct GateValue {
+  double value = 0.0;
+  std::string unit;
+  bool gate = false;
+  bool lower_is_better = false;
+};
+
+bool read_value(const Json& doc, const std::string& name, GateValue& out) {
+  for (const Json& row : doc.find("values")->items()) {
+    const Json* n = row.find("name");
+    if (n == nullptr || n->as_string() != name) continue;
+    out.value = row.find("value")->as_number();
+    if (const Json* unit = row.find("unit")) out.unit = unit->as_string();
+    if (const Json* gate = row.find("gate")) out.gate = gate->as_bool();
+    if (const Json* dir = row.find("direction")) {
+      out.lower_is_better = dir->as_string() == "lower_is_better";
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.15;
+  const char* baseline_path = nullptr;
+  const char* measured_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (measured_path == nullptr) {
+      measured_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (baseline_path == nullptr || measured_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: perf_gate <baseline.json> <measured.json> "
+                 "[--tolerance 0.15]\n");
+    return 1;
+  }
+
+  try {
+    const Json baseline = load(baseline_path);
+    const Json measured = load(measured_path);
+    check_schema(baseline, baseline_path);
+    check_schema(measured, measured_path);
+
+    const std::string bench = baseline.find("bench")->as_string();
+    std::printf("perf gate: %s (tolerance %.0f%%)\n", bench.c_str(),
+                100.0 * tolerance);
+
+    int gated = 0;
+    int failures = 0;
+    for (const Json& row : baseline.find("values")->items()) {
+      GateValue base;
+      const std::string name = row.find("name")->as_string();
+      read_value(baseline, name, base);
+      if (!base.gate) continue;
+      ++gated;
+
+      GateValue now;
+      if (!read_value(measured, name, now)) {
+        std::printf("  FAIL %-32s missing from measured report\n",
+                    name.c_str());
+        ++failures;
+        continue;
+      }
+
+      // Relative bound plus a tiny absolute slack so near-zero
+      // deterministic values (e.g. 0.0002%-error rows) don't fail on
+      // formatting noise.
+      const double slack = tolerance * std::fabs(base.value) + 1e-9;
+      const bool ok = now.lower_is_better
+                          ? now.value <= base.value + slack
+                          : now.value >= base.value - slack;
+      const double delta_pct =
+          base.value != 0.0
+              ? 100.0 * (now.value - base.value) / std::fabs(base.value)
+              : (now.value == 0.0 ? 0.0 : 100.0);
+      std::printf("  %s %-32s baseline %.6g, measured %.6g %s (%+.1f%%)\n",
+                  ok ? "ok  " : "FAIL", name.c_str(), base.value, now.value,
+                  base.unit.c_str(), delta_pct);
+      if (!ok) ++failures;
+    }
+
+    if (gated == 0) {
+      std::printf("  FAIL: baseline gates no values — nothing to check\n");
+      return 1;
+    }
+    std::printf("%d gated value(s), %d regression(s)\n", gated, failures);
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_gate: %s\n", e.what());
+    return 1;
+  }
+}
