@@ -2,9 +2,10 @@
 # evaluation, plus google-benchmark micro-benchmarks of the substrates.
 
 set(TUNIO_BENCH_LIBS
-  tunio_core tunio_service tunio_tuner tunio_rl tunio_nn tunio_workloads
-  tunio_interp tunio_discovery tunio_minic tunio_config tunio_trace
-  tunio_hdf5lite tunio_mpiio tunio_mpisim tunio_pfs tunio_obs tunio_common)
+  tunio_core tunio_service tunio_tuner tunio_replay tunio_rl tunio_nn
+  tunio_workloads tunio_interp tunio_discovery tunio_analysis tunio_minic
+  tunio_config tunio_trace tunio_hdf5lite tunio_mpiio tunio_mpisim tunio_pfs
+  tunio_obs tunio_common)
 
 add_library(tunio_bench_common STATIC ${CMAKE_SOURCE_DIR}/bench/common.cpp)
 target_link_libraries(tunio_bench_common PUBLIC ${TUNIO_BENCH_LIBS})
@@ -32,10 +33,13 @@ tunio_add_bench(fig11b_pipeline_roti)
 tunio_add_bench(fig12_viability)
 tunio_add_bench(ablation_components)
 tunio_add_bench(service_throughput)
+tunio_add_bench(eval_fast_path)
 
-# Micro-benchmarks (google-benchmark) for the substrates themselves.
+# Micro-benchmarks (google-benchmark) for the substrates themselves. Uses
+# a custom main (not benchmark_main) so `--json` produces the same
+# BENCH_*.json reports as the figure benches.
 add_executable(micro_substrates ${CMAKE_SOURCE_DIR}/bench/micro_substrates.cpp)
 target_link_libraries(micro_substrates PRIVATE tunio_bench_common
-  benchmark::benchmark benchmark::benchmark_main)
+  benchmark::benchmark)
 set_target_properties(micro_substrates PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

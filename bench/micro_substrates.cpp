@@ -7,11 +7,17 @@
 // experiment the harness can run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
 #include "config/stack_settings.hpp"
 #include "discovery/discovery.hpp"
 #include "hdf5lite/file.hpp"
 #include "minic/parser.hpp"
 #include "nn/dense_net.hpp"
+#include "pfs/pfs.hpp"
 #include "rl/q_agent.hpp"
 #include "tuner/genetic_tuner.hpp"
 #include "tuner/objective.hpp"
@@ -159,3 +165,70 @@ static void BM_GaGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);  // evaluations
 }
 BENCHMARK(BM_GaGeneration);
+
+// Custom main replacing benchmark_main: routes every micro-benchmark's
+// per-iteration timing into the shared bench harness so `--json` writes
+// a BENCH_micro_substrates.json report alongside the figure benches'.
+namespace {
+
+/// Console output as usual, plus one harness value() per benchmark run.
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      std::replace(name.begin(), name.end(), '/', '_');
+      // Wall-clock micro timings vary across runners: never gated.
+      bench::value(name + "_ns", run.GetAdjustedRealTime(), "ns",
+                   /*gate=*/false, bench::Direction::kLowerIsBetter);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        bench::value(name + "_items_per_sec", items->second.value, "items/s");
+      }
+    }
+  }
+};
+
+/// Deterministic anchor for the perf gate (gated reports need at least
+/// one machine-independent value): the simulated completion time of a
+/// fixed striped write pattern. Catches accidental cost-model changes.
+double simulated_anchor_seconds() {
+  pfs::PfsSimulator fs;
+  pfs::CreateOptions opts;
+  opts.stripe_count = 8;
+  fs.create("/anchor", 0.0, opts);
+  const pfs::FileHandle handle = *fs.find_file("/anchor");
+  SimSeconds t = 0.0;
+  for (unsigned i = 0; i < 64; ++i) {
+    t = fs.write(handle, t, static_cast<Bytes>(i) * MiB, 1 * MiB);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tunio::bench::init(argc, argv, "micro_substrates");
+  // Strip the harness's --json flag before google-benchmark parses the
+  // command line (it rejects flags it does not recognize).
+  std::vector<char*> bm_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--json", 0) == 0) continue;
+    bm_args.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_args.size());
+  benchmark::Initialize(&bm_argc, bm_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_args.data())) {
+    return tunio::bench::finish(1);
+  }
+  HarnessReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  tunio::bench::value("benchmarks_run", static_cast<double>(ran), "count");
+  tunio::bench::value("sim_anchor_write_seconds", simulated_anchor_seconds(),
+                      "s", /*gate=*/true,
+                      tunio::bench::Direction::kLowerIsBetter);
+  return tunio::bench::finish(ran > 0 ? 0 : 1);
+}

@@ -185,5 +185,10 @@ int main() {
                   metrics.counter("tuner.generations")),
               static_cast<unsigned long long>(
                   metrics.counter("rl.early_stop.decisions")));
+  std::printf("evaluation fast path: %llu replayed, %llu interpreted\n",
+              static_cast<unsigned long long>(
+                  metrics.counter("tuner.eval.replayed")),
+              static_cast<unsigned long long>(
+                  metrics.counter("tuner.eval.interpreted")));
   return 0;
 }

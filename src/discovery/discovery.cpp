@@ -390,34 +390,14 @@ void apply_path_switching(Stmt& stmt) {
 std::set<int> mark_kept(const Program& program,
                         const std::vector<std::string>& io_prefixes) {
   // Marking never mutates; clone to satisfy the Marker's non-const index.
-  Program copy;
-  for (const Function& fn : program.functions) {
-    Function fcopy;
-    fcopy.return_type = fn.return_type;
-    fcopy.name = fn.name;
-    fcopy.params = fn.params;
-    fcopy.line = fn.line;
-    fcopy.body = minic::clone(*fn.body);
-    copy.functions.push_back(std::move(fcopy));
-  }
-  copy.next_stmt_id = program.next_stmt_id;
+  Program copy = minic::clone(program);
   return Marker(copy, io_prefixes).run();
 }
 
 KernelResult discover_io(const Program& program,
                          const DiscoveryOptions& options) {
   // Work on a clone so the caller's AST is untouched.
-  Program working;
-  for (const Function& fn : program.functions) {
-    Function fcopy;
-    fcopy.return_type = fn.return_type;
-    fcopy.name = fn.name;
-    fcopy.params = fn.params;
-    fcopy.line = fn.line;
-    fcopy.body = minic::clone(*fn.body);
-    working.functions.push_back(std::move(fcopy));
-  }
-  working.next_stmt_id = program.next_stmt_id;
+  Program working = minic::clone(program);
 
   // The Marker is constructed either way: its io-function fixpoint also
   // drives loop reduction, and it is the fallback engine.

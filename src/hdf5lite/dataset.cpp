@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "hdf5lite/file.hpp"
+#include "replay/hooks.hpp"
 
 namespace tunio::h5 {
 
@@ -93,6 +94,15 @@ void Dataset::issue_reads(const std::vector<ByteExtent>& extents,
 void Dataset::write(const std::vector<Selection>& selections,
                     const TransferProps& dxpl) {
   TUNIO_CHECK_MSG(!closed_, "write on closed dataset: " + name_);
+  if (replay::recording()) {
+    std::vector<replay::Sel> sels;
+    sels.reserve(selections.size());
+    for (const Selection& sel : selections) {
+      sels.push_back({sel.rank, sel.start_element, sel.count});
+    }
+    replay::note_dataset_io(this, /*is_write=*/true, dxpl.collective,
+                            sels.data(), sels.size());
+  }
   last_dxpl_collective_ = dxpl.collective;
   for (const Selection& sel : selections) {
     TUNIO_CHECK_MSG(sel.start_element + sel.count <= num_elements_,
@@ -110,6 +120,15 @@ void Dataset::write(const std::vector<Selection>& selections,
 void Dataset::read(const std::vector<Selection>& selections,
                    const TransferProps& dxpl) {
   TUNIO_CHECK_MSG(!closed_, "read on closed dataset: " + name_);
+  if (replay::recording()) {
+    std::vector<replay::Sel> sels;
+    sels.reserve(selections.size());
+    for (const Selection& sel : selections) {
+      sels.push_back({sel.rank, sel.start_element, sel.count});
+    }
+    replay::note_dataset_io(this, /*is_write=*/false, dxpl.collective,
+                            sels.data(), sels.size());
+  }
   for (const Selection& sel : selections) {
     TUNIO_CHECK_MSG(sel.start_element + sel.count <= num_elements_,
                     "selection out of bounds in " + name_);
@@ -271,6 +290,7 @@ void Dataset::read_chunked(const std::vector<Selection>& selections,
 }
 
 void Dataset::flush() {
+  replay::note_dataset_flush(this);
   for (auto& [rank, window] : sieves_) {
     if (window.length > 0 && window.dirty) {
       ++stats_.sieve_flushes;
@@ -287,6 +307,9 @@ void Dataset::flush() {
 
 void Dataset::close() {
   if (closed_) return;
+  // Dataset close is always driven by File::close / h5dclose; the flush
+  // below is already represented by the enclosing op.
+  replay::SuppressScope suppress;
   flush();
   // Final attribute/object-header update on close.
   file_.meta().meta_update(kAttributeBytes);

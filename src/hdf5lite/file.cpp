@@ -1,6 +1,7 @@
 #include "hdf5lite/file.hpp"
 
 #include "common/error.hpp"
+#include "replay/hooks.hpp"
 
 namespace tunio::h5 {
 
@@ -20,6 +21,10 @@ File::File(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs, std::string path,
       meta_(mpi, fs, path_, fapl_) {
   // Superblock write at creation.
   meta_.meta_update(kSuperblockBytes);
+  // Only the memory-tier choice is the caller's; the striping/hints all
+  // came from the settings and get re-substituted at replay.
+  replay::note_file_ctor(this, path_,
+                         create_options.tier == pfs::Tier::kMemory);
 }
 
 File::~File() {
@@ -42,6 +47,10 @@ Dataset& File::create_dataset(const std::string& name, Bytes elem_size,
                                 ccpl);
   Dataset& ref = *dataset;
   datasets_.emplace(name, std::move(dataset));
+  // Record the caller's (pre-clamp) chunk request; the cache props come
+  // from the settings and get re-substituted at replay.
+  replay::note_dataset_create(this, &ref, name, elem_size, num_elements,
+                              dcpl.chunk_elements.value_or(0));
   return ref;
 }
 
@@ -56,12 +65,18 @@ bool File::has_dataset(const std::string& name) const {
 }
 
 void File::flush() {
+  replay::note_file_flush(this);
+  // One kFileFlush op stands for the whole composite; the per-dataset
+  // flushes below must not record themselves.
+  replay::SuppressScope suppress;
   for (auto& [name, dataset] : datasets_) dataset->flush();
   meta_.flush();
 }
 
 void File::close() {
   if (closed_) return;
+  replay::note_file_close(this);
+  replay::SuppressScope suppress;
   for (auto& [name, dataset] : datasets_) dataset->close();
   // Superblock is rewritten on close (end-of-allocation update).
   meta_.meta_update(kSuperblockBytes);

@@ -16,9 +16,15 @@ Bytes align_up(Bytes value, Bytes granule) {
 }  // namespace
 
 MetadataManager::MetadataManager(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
-                                 std::string path, const FileAccessProps& fapl)
-    : mpi_(mpi), fs_(fs), path_(std::move(path)), fapl_(fapl) {
+                                 const std::string& path,
+                                 const FileAccessProps& fapl)
+    : mpi_(mpi), fs_(fs), fapl_(fapl) {
   TUNIO_CHECK_MSG(fapl_.meta_block_size > 0, "meta block size must be > 0");
+  // The file must already exist (File's MpiIoFile creates it first); all
+  // metadata traffic then goes through the handle, not the path.
+  const std::optional<pfs::FileHandle> handle = fs_.find_file(path);
+  TUNIO_CHECK_MSG(handle.has_value(), "metadata manager on missing file: " + path);
+  handle_ = *handle;
 }
 
 Bytes MetadataManager::alloc_raw(Bytes bytes) {
@@ -58,7 +64,7 @@ void MetadataManager::meta_update(Bytes bytes) {
   // on it at the next synchronization (approximated by charging rank 0).
   ++stats_.meta_writes;
   stats_.meta_bytes_written += bytes;
-  const SimSeconds done = fs_.write(path_, mpi_.clock(0), offset, bytes);
+  const SimSeconds done = fs_.write(handle_, mpi_.clock(0), offset, bytes);
   mpi_.set_clock(0, done);
 }
 
@@ -101,7 +107,7 @@ void MetadataManager::flush() {
   ++stats_.meta_writes;
   stats_.meta_bytes_written += staged_meta_bytes_;
   const SimSeconds done =
-      fs_.write(path_, mpi_.max_clock(), staged_meta_offset_,
+      fs_.write(handle_, mpi_.max_clock(), staged_meta_offset_,
                 staged_meta_bytes_);
   for (unsigned r = 0; r < mpi_.size(); ++r) mpi_.set_clock(r, done);
   staged_meta_bytes_ = 0;

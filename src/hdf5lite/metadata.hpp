@@ -39,8 +39,10 @@ struct MetadataStats {
 
 class MetadataManager {
  public:
-  MetadataManager(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs, std::string path,
-                  const FileAccessProps& fapl);
+  /// `path` must already exist in `fs`; it is resolved to a handle once
+  /// here and never hashed again on the metadata write path.
+  MetadataManager(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
+                  const std::string& path, const FileAccessProps& fapl);
 
   /// Allocates `bytes` of raw data space; returns its file offset.
   Bytes alloc_raw(Bytes bytes);
@@ -71,7 +73,7 @@ class MetadataManager {
 
   mpisim::MpiSim& mpi_;
   pfs::PfsSimulator& fs_;
-  std::string path_;
+  pfs::FileHandle handle_ = 0;
   FileAccessProps fapl_;
 
   Bytes eoa_ = 4096;          ///< superblock occupies the file head

@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "discovery/discovery.hpp"
 #include "hdf5lite/file.hpp"
+#include "replay/hooks.hpp"
 
 namespace tunio::interp {
 
@@ -59,13 +61,10 @@ bool truthy(const Value& v, int line) {
 }
 
 /// Per-rank compute jitter (same model as the native workload drivers).
+/// Delegates to the shared definition so interpreted, native, and replayed
+/// runs agree bit-for-bit.
 double jitter(unsigned rank, unsigned salt) {
-  std::uint64_t z = (static_cast<std::uint64_t>(rank) << 32) ^ salt;
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return 0.97 + 0.06 * static_cast<double>(z % 10000) / 10000.0;
+  return compute_jitter(rank, salt);
 }
 
 class Interpreter {
@@ -471,6 +470,12 @@ class Interpreter {
       need_args(call, 2);
       auto [path, create] = resolve_path(as_string(args[0], line));
       meter_.phase_begin(trace::Phase::kWrite);
+      // Recorded after the phase op so the replayed write (and its stdio
+      // library cost) lands in the write phase, as it does here.
+      replay::note_log_write(path,
+                             static_cast<Bytes>(as_int(args[1], line)),
+                             /*settings_stripe=*/true,
+                             create.tier == pfs::Tier::kMemory);
       if (!fs_.exists(path)) {
         create.stripe_count = 1;  // logs are plain fopen'd files
         fs_.create(path, mpi_.clock(0), create);
@@ -488,6 +493,7 @@ class Interpreter {
       need_args(call, 1);
       const double seconds = as_double(args[0], line);
       if (seconds > 0.0) {
+        replay::note_compute(seconds, compute_salt_);
         for (unsigned r = 0; r < mpi_.size(); ++r) {
           mpi_.compute(r, seconds * jitter(r, compute_salt_));
         }
@@ -502,8 +508,27 @@ class Interpreter {
     }
     if (name == "mpi_barrier") {
       need_args(call, 0);
+      replay::note_barrier();
       mpi_.barrier();
       return std::int64_t{0};
+    }
+    if (name == "tuned_stripe_count") {
+      // Reading a tuned_* builtin makes the kernel settings-dependent: its
+      // op stream may differ per configuration, so the replay fast path must
+      // not be used (replay::settings_dependent detects these statically).
+      need_args(call, 0);
+      return static_cast<std::int64_t>(settings_.lustre.stripe_count.value_or(
+          fs_.profile().default_stripe_count));
+    }
+    if (name == "tuned_stripe_size_kib") {
+      need_args(call, 0);
+      const Bytes stripe = settings_.lustre.stripe_size.value_or(
+          fs_.profile().default_stripe_size);
+      return static_cast<std::int64_t>(stripe / 1024);
+    }
+    if (name == "tuned_cb_nodes") {
+      need_args(call, 0);
+      return static_cast<std::int64_t>(settings_.mpiio.cb_nodes);
     }
     if (name == "min" || name == "max") {
       need_args(call, 2);

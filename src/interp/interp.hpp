@@ -17,6 +17,9 @@
 //   non-HDF5 fprintf_log(path, bytes)            (incidental logging)
 //   compute  compute(seconds)
 //   MPI      mpi_size() mpi_barrier()
+//   tuning   tuned_stripe_count() tuned_stripe_size_kib() tuned_cb_nodes()
+//            (reading these makes the kernel settings-dependent, which
+//            disqualifies it from the record/replay fast path)
 //   misc     min(a,b) max(a,b) reduced_iters(n, divisor)
 //
 // Paths beginning with discovery::kMemoryPathPrefix ("/shm") land on the

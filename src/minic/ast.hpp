@@ -98,5 +98,6 @@ struct Program {
 /// Deep copies (used by discovery transformations).
 ExprPtr clone(const Expr& expr);
 StmtPtr clone(const Stmt& stmt);
+Program clone(const Program& program);
 
 }  // namespace tunio::minic

@@ -264,7 +264,7 @@ class Parser {
     while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
       const Token op = advance();
       ExprPtr node = make_expr(ExprKind::kBinary, op);
-      node->text = op.kind == TokenKind::kPlus ? "+" : "-";
+      node->text = op.kind == TokenKind::kPlus ? '+' : '-';
       node->children.push_back(std::move(lhs));
       node->children.push_back(parse_multiplicative());
       lhs = std::move(node);
@@ -279,8 +279,8 @@ class Parser {
       const Token op = advance();
       ExprPtr node = make_expr(ExprKind::kBinary, op);
       node->text = op.kind == TokenKind::kStar
-                       ? "*"
-                       : op.kind == TokenKind::kSlash ? "/" : "%";
+                       ? '*'
+                       : op.kind == TokenKind::kSlash ? '/' : '%';
       node->children.push_back(std::move(lhs));
       node->children.push_back(parse_unary());
       lhs = std::move(node);
@@ -397,6 +397,22 @@ StmtPtr clone(const Stmt& stmt) {
   copy->statements.reserve(stmt.statements.size());
   for (const StmtPtr& s : stmt.statements) {
     copy->statements.push_back(clone(*s));
+  }
+  return copy;
+}
+
+Program clone(const Program& program) {
+  Program copy;
+  copy.next_stmt_id = program.next_stmt_id;
+  copy.functions.reserve(program.functions.size());
+  for (const Function& fn : program.functions) {
+    Function fn_copy;
+    fn_copy.return_type = fn.return_type;
+    fn_copy.name = fn.name;
+    fn_copy.params = fn.params;
+    fn_copy.line = fn.line;
+    if (fn.body) fn_copy.body = clone(*fn.body);
+    copy.functions.push_back(std::move(fn_copy));
   }
   return copy;
 }

@@ -25,17 +25,18 @@ MpiIoFile::MpiIoFile(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
   // on behalf of the communicator (rank 0 does the MDS round-trip).
   mpi_.barrier();
   const SimSeconds t = mpi_.max_clock();
-  const SimSeconds done = fs_.exists(path_)
-                              ? fs_.open(path_, t)
-                              : fs_.create(path_, t, create_options);
-  for (unsigned r = 0; r < mpi_.size(); ++r) mpi_.set_clock(r, done);
+  const pfs::OpenResult opened = fs_.exists(path_)
+                                     ? fs_.open_file(path_, t)
+                                     : fs_.create_file(path_, t, create_options);
+  handle_ = opened.handle;
+  for (unsigned r = 0; r < mpi_.size(); ++r) mpi_.set_clock(r, opened.done);
 }
 
 void MpiIoFile::write_at(unsigned rank, Bytes offset, Bytes length) {
   TUNIO_CHECK_MSG(open_, "write on closed file");
   if (length == 0) return;
   ++counters_.independent_writes;
-  const SimSeconds done = fs_.write(path_, mpi_.clock(rank), offset, length);
+  const SimSeconds done = fs_.write(handle_, mpi_.clock(rank), offset, length);
   mpi_.set_clock(rank, done);
 }
 
@@ -43,7 +44,7 @@ void MpiIoFile::read_at(unsigned rank, Bytes offset, Bytes length) {
   TUNIO_CHECK_MSG(open_, "read on closed file");
   if (length == 0) return;
   ++counters_.independent_reads;
-  const SimSeconds done = fs_.read(path_, mpi_.clock(rank), offset, length);
+  const SimSeconds done = fs_.read(handle_, mpi_.clock(rank), offset, length);
   mpi_.set_clock(rank, done);
 }
 
@@ -116,7 +117,7 @@ void MpiIoFile::two_phase(const std::vector<Request>& requests,
   // rounds the per-aggregator share up to a stripe multiple.
   const unsigned aggregators =
       std::min(hints_.cb_nodes, mpi_.size());
-  const Bytes stripe = fs_.file_layout(path_).stripe_size();
+  const Bytes stripe = fs_.file_layout(handle_).stripe_size();
   const Bytes base = align_down(domain_lo, stripe);
   const Bytes span = domain_hi - base;
   const Bytes raw_share = (span + aggregators - 1) / aggregators;
@@ -144,8 +145,8 @@ void MpiIoFile::two_phase(const std::vector<Request>& requests,
                      mpi_.profile().hop_latency;
         counters_.shuffle_bytes += chunk;
         ++counters_.aggregator_ops;
-        agg_clock = is_write ? fs_.write(path_, agg_clock, cursor, chunk)
-                             : fs_.read(path_, agg_clock, cursor, chunk);
+        agg_clock = is_write ? fs_.write(handle_, agg_clock, cursor, chunk)
+                             : fs_.read(handle_, agg_clock, cursor, chunk);
         cursor += chunk;
       }
     }
@@ -163,11 +164,11 @@ void MpiIoFile::independent_all(const std::vector<Request>& requests,
     if (r.length == 0) continue;
     if (is_write) {
       const SimSeconds done =
-          fs_.write(path_, mpi_.clock(r.rank), r.offset, r.length);
+          fs_.write(handle_, mpi_.clock(r.rank), r.offset, r.length);
       mpi_.set_clock(r.rank, done);
     } else {
       const SimSeconds done =
-          fs_.read(path_, mpi_.clock(r.rank), r.offset, r.length);
+          fs_.read(handle_, mpi_.clock(r.rank), r.offset, r.length);
       mpi_.set_clock(r.rank, done);
     }
   }

@@ -60,6 +60,10 @@ class MpiIoFile {
   const std::string& path() const { return path_; }
   const Hints& hints() const { return hints_; }
 
+  /// PFS handle resolved at open; all I/O below goes through it so the
+  /// per-op path hashing the string API pays never runs on the hot path.
+  pfs::FileHandle handle() const { return handle_; }
+
   /// Independent write from one rank; advances that rank's clock.
   void write_at(unsigned rank, Bytes offset, Bytes length);
 
@@ -96,6 +100,7 @@ class MpiIoFile {
   mpisim::MpiSim& mpi_;
   pfs::PfsSimulator& fs_;
   std::string path_;
+  pfs::FileHandle handle_ = 0;
   Hints hints_;
   MpiIoCounters counters_;
   bool open_ = true;

@@ -33,26 +33,8 @@ Bytes StripeLayout::object_offset_for(Bytes offset) const {
 std::vector<StripeExtent> StripeLayout::split(Bytes offset,
                                               Bytes length) const {
   std::vector<StripeExtent> pieces;
-  Bytes cursor = offset;
-  Bytes remaining = length;
-  while (remaining > 0) {
-    const Bytes within_stripe = cursor % stripe_size_;
-    const Bytes piece_len = std::min(remaining, stripe_size_ - within_stripe);
-    StripeExtent piece;
-    piece.ost = ost_for(cursor);
-    piece.object_offset = object_offset_for(cursor);
-    piece.file_offset = cursor;
-    piece.length = piece_len;
-    if (!pieces.empty() && pieces.back().ost == piece.ost &&
-        pieces.back().object_offset + pieces.back().length ==
-            piece.object_offset) {
-      pieces.back().length += piece_len;
-    } else {
-      pieces.push_back(piece);
-    }
-    cursor += piece_len;
-    remaining -= piece_len;
-  }
+  for_each_extent(offset, length,
+                  [&pieces](const StripeExtent& piece) { pieces.push_back(piece); });
   return pieces;
 }
 

@@ -142,18 +142,42 @@ void PfsSimulator::note_io(bool is_write, Bytes length, SimSeconds start,
   }
 }
 
-SimSeconds PfsSimulator::create(const std::string& path, SimSeconds start,
-                                const CreateOptions& options) {
+OpenResult PfsSimulator::create_file(const std::string& path, SimSeconds start,
+                                     const CreateOptions& options) {
   const Bytes stripe_size =
       options.stripe_size.value_or(profile_.default_stripe_size);
   const unsigned stripe_count =
       options.stripe_count.value_or(profile_.default_stripe_count);
   File file{StripeLayout(stripe_size, stripe_count, next_ost_offset_,
                          profile_.num_osts),
-            options.tier, 0, {}};
+            options.tier, 0,
+            std::vector<Bytes>(profile_.num_osts, kNeverAccessed)};
   next_ost_offset_ = (next_ost_offset_ + stripe_count) % profile_.num_osts;
-  files_.insert_or_assign(path, std::move(file));
-  return metadata_op(start);
+  auto [it, inserted] =
+      index_.try_emplace(path, static_cast<FileHandle>(files_.size()));
+  if (inserted) {
+    files_.push_back(std::move(file));
+  } else {
+    // Truncate: the path keeps its handle, the file starts over.
+    files_[it->second] = std::move(file);
+  }
+  return {it->second, metadata_op(start)};
+}
+
+OpenResult PfsSimulator::open_file(const std::string& path, SimSeconds start) {
+  return {handle_of(path), metadata_op(start)};
+}
+
+std::optional<FileHandle> PfsSimulator::find_file(
+    const std::string& path) const {
+  auto it = index_.find(path);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+SimSeconds PfsSimulator::create(const std::string& path, SimSeconds start,
+                                const CreateOptions& options) {
+  return create_file(path, start, options).done;
 }
 
 SimSeconds PfsSimulator::open(const std::string& path, SimSeconds start) {
@@ -162,7 +186,10 @@ SimSeconds PfsSimulator::open(const std::string& path, SimSeconds start) {
 }
 
 SimSeconds PfsSimulator::remove(const std::string& path, SimSeconds start) {
-  files_.erase(path);
+  // Only the name goes away; the file object stays behind so any handle
+  // already resolved for this path keeps working (POSIX unlink-with-open-fd
+  // semantics). `reset()` reclaims everything.
+  index_.erase(path);
   return metadata_op(start);
 }
 
@@ -182,10 +209,11 @@ SimSeconds PfsSimulator::service_extent(File& file, const StripeExtent& extent,
   const OstProfile& prof = profile_.ost;
 
   // Sequentiality: a request that continues where the previous one on this
-  // OST object ended skips the seek.
-  auto [it, inserted] = file.last_end_per_ost.try_emplace(extent.ost, 0);
-  const bool sequential = !inserted && it->second == extent.object_offset;
-  it->second = extent.object_offset + extent.length;
+  // OST object ended skips the seek. (kNeverAccessed never compares equal
+  // to a real offset, so the first request on an object always seeks.)
+  Bytes& last_end = file.last_end_per_ost[extent.ost];
+  const bool sequential = last_end == extent.object_offset;
+  last_end = extent.object_offset + extent.length;
 
   SimSeconds service = prof.request_overhead +
                        static_cast<double>(extent.length) /
@@ -226,9 +254,9 @@ SimSeconds PfsSimulator::service_extent(File& file, const StripeExtent& extent,
   return network_.transfer(served, extent.length);
 }
 
-SimSeconds PfsSimulator::write(const std::string& path, SimSeconds start,
+SimSeconds PfsSimulator::write(FileHandle handle, SimSeconds start,
                                Bytes offset, Bytes length) {
-  File& file = lookup(path);
+  File& file = file_at(handle);
   ++counters_.writes;
   counters_.bytes_written += length;
   counters_.write_sizes.record(length);
@@ -240,16 +268,21 @@ SimSeconds PfsSimulator::write(const std::string& path, SimSeconds start,
   }
 
   SimSeconds done = start;
-  for (const StripeExtent& extent : file.layout.split(offset, length)) {
+  file.layout.for_each_extent(offset, length, [&](const StripeExtent& extent) {
     done = std::max(done, service_extent(file, extent, start, /*write=*/true));
-  }
+  });
   note_io(/*is_write=*/true, length, start, done);
   return done;
 }
 
-SimSeconds PfsSimulator::read(const std::string& path, SimSeconds start,
+SimSeconds PfsSimulator::write(const std::string& path, SimSeconds start,
+                               Bytes offset, Bytes length) {
+  return write(handle_of(path), start, offset, length);
+}
+
+SimSeconds PfsSimulator::read(FileHandle handle, SimSeconds start,
                               Bytes offset, Bytes length) {
-  File& file = lookup(path);
+  File& file = file_at(handle);
   ++counters_.reads;
   counters_.bytes_read += length;
   counters_.read_sizes.record(length);
@@ -260,23 +293,41 @@ SimSeconds PfsSimulator::read(const std::string& path, SimSeconds start,
   }
 
   SimSeconds done = start;
-  for (const StripeExtent& extent : file.layout.split(offset, length)) {
-    done = std::max(done, service_extent(file, extent, start, /*write=*/false));
-  }
+  file.layout.for_each_extent(offset, length, [&](const StripeExtent& extent) {
+    done =
+        std::max(done, service_extent(file, extent, start, /*write=*/false));
+  });
   note_io(/*is_write=*/false, length, start, done);
   return done;
 }
 
+SimSeconds PfsSimulator::read(const std::string& path, SimSeconds start,
+                              Bytes offset, Bytes length) {
+  return read(handle_of(path), start, offset, length);
+}
+
 bool PfsSimulator::exists(const std::string& path) const {
-  return files_.count(path) > 0;
+  return index_.count(path) > 0;
+}
+
+Bytes PfsSimulator::file_size(FileHandle handle) const {
+  return file_at(handle).size;
 }
 
 Bytes PfsSimulator::file_size(const std::string& path) const {
   return lookup(path).size;
 }
 
+Tier PfsSimulator::file_tier(FileHandle handle) const {
+  return file_at(handle).tier;
+}
+
 Tier PfsSimulator::file_tier(const std::string& path) const {
   return lookup(path).tier;
+}
+
+const StripeLayout& PfsSimulator::file_layout(FileHandle handle) const {
+  return file_at(handle).layout;
 }
 
 const StripeLayout& PfsSimulator::file_layout(const std::string& path) const {
@@ -296,6 +347,7 @@ void PfsSimulator::reset() {
   mds_.reset();
   network_.reset();
   files_.clear();
+  index_.clear();
   counters_ = {};
   flushed_ = {};
   next_ost_offset_ = 0;
@@ -306,19 +358,34 @@ void PfsSimulator::quiesce() {
   for (ResourceTimeline& ost : osts_) ost.reset();
   mds_.reset();
   network_.reset();
-  for (auto& [path, file] : files_) file.last_end_per_ost.clear();
+  for (File& file : files_) {
+    std::fill(file.last_end_per_ost.begin(), file.last_end_per_ost.end(),
+              kNeverAccessed);
+  }
+}
+
+FileHandle PfsSimulator::handle_of(const std::string& path) const {
+  auto it = index_.find(path);
+  TUNIO_CHECK_MSG(it != index_.end(), "unknown file: " + path);
+  return it->second;
+}
+
+PfsSimulator::File& PfsSimulator::file_at(FileHandle handle) {
+  TUNIO_CHECK_MSG(handle < files_.size(), "invalid file handle");
+  return files_[handle];
+}
+
+const PfsSimulator::File& PfsSimulator::file_at(FileHandle handle) const {
+  TUNIO_CHECK_MSG(handle < files_.size(), "invalid file handle");
+  return files_[handle];
 }
 
 PfsSimulator::File& PfsSimulator::lookup(const std::string& path) {
-  auto it = files_.find(path);
-  TUNIO_CHECK_MSG(it != files_.end(), "unknown file: " + path);
-  return it->second;
+  return files_[handle_of(path)];
 }
 
 const PfsSimulator::File& PfsSimulator::lookup(const std::string& path) const {
-  auto it = files_.find(path);
-  TUNIO_CHECK_MSG(it != files_.end(), "unknown file: " + path);
-  return it->second;
+  return files_[handle_of(path)];
 }
 
 }  // namespace tunio::pfs

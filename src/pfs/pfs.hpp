@@ -16,14 +16,22 @@
 // All operations take the caller's simulated clock and return the
 // completion time; contention between concurrent callers emerges from
 // the shared `ResourceTimeline`s.
+//
+// Files can be addressed two ways. `create_file`/`open_file` return an
+// integer `FileHandle`; the handle-taking `read`/`write`/`file_size`/...
+// overloads are the hot path — no per-op string hashing. The path-based
+// API is kept as a thin wrapper (one hash lookup per call) for cold-path
+// callers. Handles stay valid until `reset()`; like a POSIX fd held
+// across unlink, a handle outlives `remove()` of its path.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/timeline.hpp"
@@ -131,6 +139,16 @@ class IoObserver {
   virtual void on_io(const IoRequest& request) = 0;
 };
 
+/// Stable identifier for an open simulated file (see header comment).
+using FileHandle = std::uint32_t;
+
+/// Result of resolving a file to a handle: the handle plus the
+/// completion time of the MDS operation that produced it.
+struct OpenResult {
+  FileHandle handle = 0;
+  SimSeconds done = 0.0;
+};
+
 class PfsSimulator {
  public:
   explicit PfsSimulator(PfsProfile profile = {});
@@ -143,6 +161,19 @@ class PfsSimulator {
 
   const PfsProfile& profile() const { return profile_; }
 
+  /// Creates (or truncates) a file; returns its handle and the
+  /// completion time of the MDS op. Re-creating an existing path reuses
+  /// its handle (truncate semantics: old handles see the new file).
+  OpenResult create_file(const std::string& path, SimSeconds start,
+                         const CreateOptions& options = {});
+
+  /// Opens an existing file (MDS op). Throws if absent.
+  OpenResult open_file(const std::string& path, SimSeconds start);
+
+  /// Resolves a path to its handle without charging an MDS op — the
+  /// analogue of consulting an already-cached dentry. Empty if absent.
+  std::optional<FileHandle> find_file(const std::string& path) const;
+
   /// Creates (or truncates) a file; returns completion time of the MDS op.
   SimSeconds create(const std::string& path, SimSeconds start,
                     const CreateOptions& options = {});
@@ -150,23 +181,32 @@ class PfsSimulator {
   /// Opens an existing file (MDS op). Throws if absent.
   SimSeconds open(const std::string& path, SimSeconds start);
 
-  /// Removes a file if present (MDS op).
+  /// Removes a file if present (MDS op). Outstanding handles keep
+  /// working, like a POSIX fd held across unlink.
   SimSeconds remove(const std::string& path, SimSeconds start);
 
   /// A pure-metadata operation against the MDS (stat, attr update, ...).
   SimSeconds metadata_op(SimSeconds start);
 
-  /// Writes [offset, offset+length) of `path`; returns completion time.
+  /// Writes [offset, offset+length); returns completion time. The handle
+  /// overload is the allocation- and hash-free hot path.
+  SimSeconds write(FileHandle handle, SimSeconds start, Bytes offset,
+                   Bytes length);
   SimSeconds write(const std::string& path, SimSeconds start, Bytes offset,
                    Bytes length);
 
-  /// Reads [offset, offset+length) of `path`; returns completion time.
+  /// Reads [offset, offset+length); returns completion time.
+  SimSeconds read(FileHandle handle, SimSeconds start, Bytes offset,
+                  Bytes length);
   SimSeconds read(const std::string& path, SimSeconds start, Bytes offset,
                   Bytes length);
 
   bool exists(const std::string& path) const;
+  Bytes file_size(FileHandle handle) const;
   Bytes file_size(const std::string& path) const;
+  Tier file_tier(FileHandle handle) const;
   Tier file_tier(const std::string& path) const;
+  const StripeLayout& file_layout(FileHandle handle) const;
   const StripeLayout& file_layout(const std::string& path) const;
 
   const PfsCounters& counters() const { return counters_; }
@@ -188,16 +228,24 @@ class PfsSimulator {
   void quiesce();
 
  private:
+  /// Sentinel for "no request serviced on this OST object yet" — never
+  /// equal to a real object offset, so first accesses are non-sequential.
+  static constexpr Bytes kNeverAccessed = ~Bytes{0};
+
   struct File {
     StripeLayout layout;
     Tier tier = Tier::kDisk;
     Bytes size = 0;
     /// Last byte serviced per OST object, to detect sequential access.
-    std::map<unsigned, Bytes> last_end_per_ost;
+    /// Flat vector indexed by absolute OST id (kNeverAccessed = none).
+    std::vector<Bytes> last_end_per_ost;
   };
 
   File& lookup(const std::string& path);
   const File& lookup(const std::string& path) const;
+  FileHandle handle_of(const std::string& path) const;
+  File& file_at(FileHandle handle);
+  const File& file_at(FileHandle handle) const;
 
   /// Services one per-OST extent; returns completion time.
   SimSeconds service_extent(File& file, const StripeExtent& extent,
@@ -216,7 +264,10 @@ class PfsSimulator {
   std::vector<ResourceTimeline> osts_;
   ResourceTimeline mds_;
   SharedChannel network_;
-  std::map<std::string, File> files_;
+  /// Handle-indexed file table (deque: references stay stable) plus the
+  /// path index used by the wrapper API and create/open/remove.
+  std::deque<File> files_;
+  std::unordered_map<std::string, FileHandle> index_;
   PfsCounters counters_;
   PfsCounters flushed_;  ///< already published to the metrics registry
   IoObserver* observer_ = nullptr;

@@ -1,0 +1,30 @@
+// Deciding when the record-once/replay-many fast path is sound.
+//
+// A recorded op stream can be reused across configurations only if the
+// program that produced it issues the *same* application-level calls
+// under every configuration — i.e. its control flow and call arguments
+// never observe a resolved setting. The only way mini-C code can observe
+// settings is through the `tuned_*` builtins, so the PR-2 def-use slicer
+// answers the question: slice backward from every op-emitting call site
+// (h5*, fprintf_log, compute, mpi_barrier); the op stream is
+// settings-dependent exactly when a statement reading a `tuned_*` builtin
+// survives in that slice. A tuned_* read whose value is dead — never
+// reaching an op-emitting statement through data or control dependences —
+// does not disqualify the program.
+#pragma once
+
+#include "minic/ast.hpp"
+
+namespace tunio::replay {
+
+/// Builtin-name prefix whose results expose resolved stack settings to
+/// mini-C programs (tuned_stripe_count, tuned_stripe_size_kib, ...).
+inline constexpr const char* kTunedPrefix = "tuned_";
+
+/// True when `program` has a live statement that can observe a `tuned_*`
+/// builtin, i.e. its op stream may change across configurations and a
+/// recorded trace must not be reused. Conservative: programs the slicer
+/// cannot analyze count as dependent.
+bool settings_dependent(const minic::Program& program);
+
+}  // namespace tunio::replay

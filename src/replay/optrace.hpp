@@ -1,0 +1,72 @@
+// Flat, settings-independent record of one metered run's I/O calls.
+//
+// An `OpTrace` captures the application-level calls a kernel or workload
+// driver issues against the simulated stack — file/dataset lifecycle,
+// dataset transfers, log writes, compute phases, barriers, and meter
+// marks. Everything the tuned settings decide (striping, MPI-IO hints,
+// alignment, chunk caching) is deliberately *not* in the trace: it is
+// re-substituted from the `StackSettings` at replay time. Replaying the
+// stream through hdf5lite → mpiio → mpisim → pfs therefore produces
+// bit-identical `PerfResult`s to re-running the source program, provided
+// the program's control flow never observes a tunable
+// (`replay::settings_dependent` decides that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace tunio::replay {
+
+enum class OpKind : std::uint8_t {
+  kFileCtor,       ///< h5::File construction (open/create + superblock)
+  kFileFlush,      ///< h5::File::flush
+  kFileClose,      ///< h5::File::close (explicit or interpreter leak sweep)
+  kDatasetCreate,  ///< h5::File::create_dataset
+  kDatasetFlush,   ///< h5::Dataset::flush
+  kDatasetIo,      ///< h5::Dataset::write / read
+  kLogWrite,       ///< buffered stdio-style log append (fprintf_log)
+  kCompute,        ///< jittered per-rank compute followed by a barrier
+  kBarrier,        ///< application-level MPI_Barrier
+  kMpiReset,       ///< MpiSim::reset (setup/run separation, BD-CATS)
+  kFsQuiesce,      ///< PfsSimulator::quiesce
+  kMeterBegin,     ///< RunMeter::begin
+  kPhase,          ///< RunMeter::phase_begin
+  kMeterEnd,       ///< RunMeter::end
+};
+
+/// One rank's element selection of a `kDatasetIo` op.
+struct Sel {
+  unsigned rank = 0;
+  std::uint64_t start_element = 0;
+  std::uint64_t count = 0;
+};
+
+/// One recorded operation. Fields are overloaded per kind (see comments);
+/// object identity is by sequential id — the replay executor creates
+/// files/datasets in recorded order, so ids line up by construction.
+struct Op {
+  OpKind kind = OpKind::kBarrier;
+  bool flag = false;   ///< kDatasetIo: is_write; kLogWrite: settings-striped
+  bool flag2 = false;  ///< kDatasetIo: collective; kFileCtor/kLogWrite: memory tier
+  std::uint32_t id = 0;     ///< file id (kFile*, kDatasetCreate) or dataset id
+  std::uint64_t a = 0;      ///< kDatasetCreate: elem_size; kLogWrite: bytes
+  std::uint64_t b = 0;      ///< kDatasetCreate: num_elements
+  std::uint64_t c = 0;      ///< kDatasetCreate: requested chunk_elements (0 = contiguous)
+  double seconds = 0.0;     ///< kCompute: unjittered per-rank duration
+  std::uint32_t salt = 0;   ///< kCompute: jitter salt; kPhase: trace::Phase
+  std::uint32_t sel_begin = 0;  ///< kDatasetIo: range into OpTrace::sels
+  std::uint32_t sel_count = 0;
+  std::string text;  ///< resolved path (kFileCtor/kLogWrite) or dataset name
+};
+
+struct OpTrace {
+  std::vector<Op> ops;
+  std::vector<Sel> sels;  ///< flat selection pool referenced by kDatasetIo
+  std::uint32_t num_files = 0;
+  std::uint32_t num_datasets = 0;
+};
+
+}  // namespace tunio::replay

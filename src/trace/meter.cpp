@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "obs/json.hpp"
 #include "obs/tracer.hpp"
+#include "replay/hooks.hpp"
 
 namespace tunio::trace {
 
@@ -38,6 +39,7 @@ void RunMeter::on_io(const pfs::IoRequest& request) {
 
 void RunMeter::begin() {
   TUNIO_CHECK_MSG(!active_, "RunMeter::begin while active");
+  replay::note_meter_begin();
   active_ = true;
   current_ = Phase::kOther;
   run_start_ = mpi_.max_clock();
@@ -78,12 +80,14 @@ void RunMeter::close_phase() {
 
 void RunMeter::phase_begin(Phase phase) {
   TUNIO_CHECK_MSG(active_, "RunMeter::phase_begin before begin");
+  replay::note_phase(static_cast<int>(phase));
   close_phase();
   current_ = phase;
 }
 
 PerfResult RunMeter::end() {
   TUNIO_CHECK_MSG(active_, "RunMeter::end before begin");
+  replay::note_meter_end();
   close_phase();
   active_ = false;
   detach();

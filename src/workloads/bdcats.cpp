@@ -7,6 +7,7 @@
 // workloads, and the application used for the paper's end-to-end
 // pipeline evaluation (Figures 11 and 12).
 #include "hdf5lite/file.hpp"
+#include "replay/hooks.hpp"
 #include "workloads/detail.hpp"
 #include "workloads/workload.hpp"
 
@@ -52,6 +53,8 @@ class BdcatsWorkload final : public Workload {
     input.flush();
     mpi.reset();
     fs.quiesce();
+    replay::note_mpi_reset();
+    replay::note_fs_quiesce();
 
     trace::RunMeter meter(mpi, fs);
     meter.begin();

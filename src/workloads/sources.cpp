@@ -188,4 +188,13 @@ int main()
 )SRC";
 }
 
+std::optional<std::string> source_for(const std::string& workload_name) {
+  if (workload_name == "VPIC-IO") return vpic();
+  if (workload_name == "FLASH-IO") return flash();
+  if (workload_name == "HACC-IO") return hacc();
+  if (workload_name == "MACSio") return macsio_vpic();
+  if (workload_name == "BD-CATS") return bdcats();
+  return std::nullopt;
+}
+
 }  // namespace tunio::wl::sources

@@ -7,6 +7,7 @@
 // which is how the Fig. 8 experiments measure kernel fidelity.
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace tunio::wl::sources {
@@ -27,5 +28,11 @@ std::string hacc();
 
 /// BD-CATS: read-dominated clustering over particle coordinates.
 std::string bdcats();
+
+/// Source of the workload with the given Workload::name() ("VPIC-IO",
+/// "FLASH-IO", "HACC-IO", "MACSio", "BD-CATS"), or std::nullopt for an
+/// unknown name. Lets callers analyze a native driver's I/O statically
+/// (e.g. the replay fast path proving settings-invariance).
+std::optional<std::string> source_for(const std::string& workload_name);
 
 }  // namespace tunio::wl::sources

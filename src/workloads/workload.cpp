@@ -3,19 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.hpp"
+#include "replay/hooks.hpp"
 #include "workloads/detail.hpp"
 
 namespace tunio::wl::detail {
 
 double jitter(unsigned rank, unsigned salt) {
-  // SplitMix64-style hash of (rank, salt) -> [0.97, 1.03].
-  std::uint64_t z = (static_cast<std::uint64_t>(rank) << 32) ^ salt;
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  const double unit = static_cast<double>(z % 10000) / 10000.0;
-  return 0.97 + 0.06 * unit;
+  return compute_jitter(rank, salt);
 }
 
 unsigned reduce_iterations(unsigned original, double loop_scale) {
@@ -37,6 +32,7 @@ pfs::CreateOptions create_options(const cfg::StackSettings& settings,
 
 void compute_phase(mpisim::MpiSim& mpi, double seconds, unsigned salt) {
   if (seconds <= 0.0) return;
+  replay::note_compute(seconds, salt);
   for (unsigned r = 0; r < mpi.size(); ++r) {
     mpi.compute(r, seconds * jitter(r, salt));
   }
@@ -45,6 +41,8 @@ void compute_phase(mpisim::MpiSim& mpi, double seconds, unsigned salt) {
 
 void log_write(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,
                const std::string& log_path, Bytes bytes) {
+  replay::note_log_write(log_path, bytes, /*settings_stripe=*/false,
+                         /*memory_tier=*/false);
   if (!fs.exists(log_path)) {
     // Logs bypass striping: single-stripe files, as fopen would produce.
     pfs::CreateOptions opts;

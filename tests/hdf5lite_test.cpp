@@ -347,7 +347,9 @@ TEST(H5File, CollectiveMetadataWriteReducesMetaWriteOps) {
     fapl.coll_metadata_write = coll;
     File file(s.mpi, s.fs, "/f.h5", fapl, mpiio::Hints{});
     for (int d = 0; d < 12; ++d) {
-      file.create_dataset("d" + std::to_string(d), 8, 4096);
+      std::string name = "d";
+      name += std::to_string(d);
+      file.create_dataset(name, 8, 4096);
     }
     file.close();
     return file.meta().stats().meta_writes;

@@ -282,5 +282,90 @@ TEST_P(PfsMonotoneProperty, WriteTimeMonotoneInSize) {
 INSTANTIATE_TEST_SUITE_P(StripeCounts, PfsMonotoneProperty,
                          ::testing::Values(1u, 2u, 8u, 32u, 64u));
 
+TEST(StripeLayout, VisitorMatchesSplit) {
+  StripeLayout layout(1 * MiB, 4, 2, 8);
+  const Bytes offset = 512 * KiB;
+  const Bytes length = 13 * MiB + 777;
+  const auto pieces = layout.split(offset, length);
+  std::vector<StripeExtent> visited;
+  layout.for_each_extent(offset, length, [&](const StripeExtent& piece) {
+    visited.push_back(piece);
+  });
+  ASSERT_EQ(visited.size(), pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    EXPECT_EQ(visited[i].ost, pieces[i].ost);
+    EXPECT_EQ(visited[i].object_offset, pieces[i].object_offset);
+    EXPECT_EQ(visited[i].file_offset, pieces[i].file_offset);
+    EXPECT_EQ(visited[i].length, pieces[i].length);
+  }
+}
+
+TEST(PfsSimulator, HandleApiMatchesPathApi) {
+  PfsSimulator by_path;
+  PfsSimulator by_handle;
+  by_path.create("/h", 0.0);
+  const OpenResult opened = by_handle.create_file("/h", 0.0);
+  for (int i = 0; i < 4; ++i) {
+    const Bytes offset = static_cast<Bytes>(i) * 3 * MiB;
+    const SimSeconds a = by_path.write("/h", 1.0 + i, offset, 3 * MiB);
+    const SimSeconds b = by_handle.write(opened.handle, 1.0 + i, offset, 3 * MiB);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(by_path.read("/h", 10.0, 1 * MiB, 4 * MiB),
+            by_handle.read(opened.handle, 10.0, 1 * MiB, 4 * MiB));
+  EXPECT_EQ(by_path.file_size("/h"), by_handle.file_size(opened.handle));
+  EXPECT_EQ(by_path.counters().bytes_written,
+            by_handle.counters().bytes_written);
+}
+
+TEST(PfsSimulator, FindFileChargesNoMetadataOp) {
+  PfsSimulator fs;
+  EXPECT_FALSE(fs.find_file("/q").has_value());
+  const OpenResult opened = fs.create_file("/q", 0.0);
+  const std::uint64_t metadata_ops = fs.counters().metadata_ops;
+  const std::optional<FileHandle> found = fs.find_file("/q");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, opened.handle);
+  EXPECT_EQ(fs.counters().metadata_ops, metadata_ops);
+}
+
+TEST(PfsSimulator, CreateOnExistingPathTruncates) {
+  PfsSimulator fs;
+  const OpenResult first = fs.create_file("/t", 0.0);
+  fs.write(first.handle, 0.0, 0, 4 * MiB);
+  EXPECT_EQ(fs.file_size("/t"), 4 * MiB);
+  const OpenResult again = fs.create_file("/t", 1.0);
+  EXPECT_EQ(again.handle, first.handle);  // slot reused
+  EXPECT_EQ(fs.file_size("/t"), 0u);
+}
+
+TEST(PfsSimulator, RemovedFileStaysUsableThroughHandle) {
+  // POSIX unlinked-descriptor semantics: remove() drops the name, not the
+  // open file.
+  PfsSimulator fs;
+  const OpenResult opened = fs.create_file("/u", 0.0);
+  fs.write(opened.handle, 0.0, 0, 1 * MiB);
+  fs.remove("/u", 1.0);
+  EXPECT_FALSE(fs.exists("/u"));
+  EXPECT_NO_THROW(fs.write(opened.handle, 2.0, 1 * MiB, 1 * MiB));
+  EXPECT_EQ(fs.file_size(opened.handle), 2 * MiB);
+}
+
+TEST(PfsSimulator, HandleSequentialDetectionSurvivesQuiesce) {
+  // Two appends: the second is sequential and skips the RMW penalty. After
+  // quiesce() the OST history is wiped, so the same append pays it again.
+  PfsSimulator fs;
+  CreateOptions opts;
+  opts.stripe_count = 1;
+  const OpenResult opened = fs.create_file("/s", 0.0, opts);
+  const Bytes odd = 1 * MiB + 4096;  // not stripe-aligned at the tail
+  fs.write(opened.handle, 0.0, 0, odd);
+  const SimSeconds warm_start = 100.0;
+  const SimSeconds warm = fs.write(opened.handle, warm_start, odd, odd);
+  fs.quiesce();
+  const SimSeconds cold = fs.write(opened.handle, warm_start, odd, odd);
+  EXPECT_GT(cold, warm);
+}
+
 }  // namespace
 }  // namespace tunio::pfs

@@ -2,9 +2,11 @@
 // subset masking, stopping policies.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "minic/parser.hpp"
 #include "tuner/genetic_tuner.hpp"
 #include "tuner/objective.hpp"
@@ -84,6 +86,43 @@ TEST(WorkloadObjective, NoiseIsPerGenomeDeterministicAndBounded) {
   const double c = other->evaluate(space.default_configuration()).perf_mbps;
   EXPECT_NE(a, c);             // noisy
   EXPECT_NEAR(a, c, a * 0.2);  // but close
+}
+
+TEST(WorkloadObjective, SingleSimulationAveragingMatchesManualComputation) {
+  // evaluate() runs the deterministic simulation once and derives the
+  // `runs_per_eval` volatility samples from that single measurement. The
+  // reported average must match recomputing those samples by hand from a
+  // noise-free single-run evaluation — proving the averaged result is
+  // bit-identical to simulating every run.
+  TestbedOptions raw = small_testbed();
+  raw.runs_per_eval = 1;
+  auto raw_objective = hacc_objective(raw);
+  const cfg::ConfigSpace space = cfg::ConfigSpace::tunio12();
+  const cfg::Configuration config = space.default_configuration();
+  const Evaluation single = raw_objective->evaluate(config);
+  // detail carries the raw (un-noised) metering of the simulated run.
+  const double base_perf = single.detail.perf_mbps;
+  const SimSeconds base_seconds =
+      single.eval_seconds - raw.launch_overhead_seconds;
+
+  TestbedOptions tb = small_testbed();
+  tb.runs_per_eval = 3;
+  tb.measurement_noise = 0.02;
+  auto objective = hacc_objective(tb);
+  const Evaluation eval = objective->evaluate(config);
+
+  Rng rng(derive_stream(tb.seed, hash_indices(config.indices())));
+  double perf_sum = 0.0;
+  double seconds_sum = 0.0;
+  for (unsigned run = 0; run < tb.runs_per_eval; ++run) {
+    const double noisy =
+        base_perf * (1.0 + rng.normal(0.0, tb.measurement_noise));
+    perf_sum += std::max(0.0, noisy);
+    seconds_sum += base_seconds;
+  }
+  EXPECT_EQ(eval.perf_mbps, perf_sum / tb.runs_per_eval);
+  EXPECT_EQ(eval.eval_seconds,
+            seconds_sum / tb.runs_per_eval + tb.launch_overhead_seconds);
 }
 
 TEST(WorkloadObjective, BatchMatchesSerialEvaluation) {
