@@ -7,9 +7,24 @@ set(TUNIO_BENCH_LIBS
   tunio_config tunio_trace tunio_hdf5lite tunio_mpiio tunio_mpisim tunio_pfs
   tunio_obs tunio_common)
 
+# Stamp reports with the source revision so a stray BENCH_*.json can be
+# traced back to the tree that produced it. "unknown" outside a git
+# checkout (tarball builds).
+execute_process(
+  COMMAND git rev-parse --short=12 HEAD
+  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+  OUTPUT_VARIABLE TUNIO_GIT_SHA
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET)
+if(NOT TUNIO_GIT_SHA)
+  set(TUNIO_GIT_SHA "unknown")
+endif()
+
 add_library(tunio_bench_common STATIC ${CMAKE_SOURCE_DIR}/bench/common.cpp)
-target_link_libraries(tunio_bench_common PUBLIC ${TUNIO_BENCH_LIBS})
+target_link_libraries(tunio_bench_common PUBLIC ${TUNIO_BENCH_LIBS} tunio_tuners)
 target_include_directories(tunio_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+target_compile_definitions(tunio_bench_common PRIVATE
+  TUNIO_GIT_SHA="${TUNIO_GIT_SHA}")
 set_target_properties(tunio_bench_common PROPERTIES
   ARCHIVE_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/lib)
 
@@ -34,6 +49,7 @@ tunio_add_bench(fig12_viability)
 tunio_add_bench(ablation_components)
 tunio_add_bench(service_throughput)
 tunio_add_bench(eval_fast_path)
+tunio_add_bench(tuner_tournament)
 
 # Micro-benchmarks (google-benchmark) for the substrates themselves. Uses
 # a custom main (not benchmark_main) so `--json` produces the same

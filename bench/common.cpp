@@ -27,12 +27,17 @@ struct RecordedSummary {
 
 struct Report {
   std::string bench;
+  std::string tuner_backend = "ga";
   bool json = false;
   std::string path;
   std::chrono::steady_clock::time_point started;
   std::vector<RecordedValue> values;
   std::vector<RecordedSummary> summaries;
 };
+
+#ifndef TUNIO_GIT_SHA
+#define TUNIO_GIT_SHA "unknown"
+#endif
 
 Report g_report;
 
@@ -52,6 +57,10 @@ void init(int argc, char** argv, const std::string& name) {
       g_report.path = arg + 7;
     }
   }
+}
+
+void set_tuner_backend(const std::string& backend) {
+  g_report.tuner_backend = backend;
 }
 
 void value(const std::string& name, double v, const std::string& unit,
@@ -89,9 +98,14 @@ int finish(int rc) {
     summaries.push_back(std::move(row));
   }
 
+  obs::Json meta = obs::Json::object();
+  meta.set("git_sha", obs::Json::string(TUNIO_GIT_SHA));
+  meta.set("tuner_backend", obs::Json::string(g_report.tuner_backend));
+
   obs::Json doc = obs::Json::object();
   doc.set("schema", obs::Json::string("tunio.bench.v1"));
   doc.set("bench", obs::Json::string(g_report.bench));
+  doc.set("meta", std::move(meta));
   doc.set("exit_code", obs::Json::number(rc));
   doc.set("wall_seconds", obs::Json::number(wall_seconds));
   doc.set("values", std::move(values));

@@ -35,6 +35,11 @@ enum class Direction { kHigherIsBetter, kLowerIsBetter };
 /// snapshot. Call first in every bench main.
 void init(int argc, char** argv, const std::string& name);
 
+/// Declares which tuner backend the bench exercises (default "ga").
+/// Recorded in the report's `meta` object; benches racing several
+/// backends should set the combined label (e.g. "ga+bo+rule+random").
+void set_tuner_backend(const std::string& backend);
+
 /// Records one named numeric result. Gated values (`gate = true`) are
 /// compared against `bench/baselines/BENCH_<name>.json` by the CI perf
 /// gate; only deterministic simulated metrics should be gated — never

@@ -87,6 +87,10 @@ void EarlyStopping::reset_episode() {
 }
 
 bool EarlyStopping::stop(unsigned current_iteration, double best_perf_mbps) {
+  // A NaN/inf observation (a failed or degenerate evaluation upstream)
+  // would poison the Q-network weights through the shaped reward;
+  // treat it as zero bandwidth instead — the worst legal observation.
+  if (!std::isfinite(best_perf_mbps)) best_perf_mbps = 0.0;
   const double norm = best_perf_mbps / options_.perf_normalizer_mbps;
   if (best_history_.empty()) {
     // First observation of this run.

@@ -1,8 +1,31 @@
 #include "core/pipeline.hpp"
 
 #include "common/error.hpp"
+#include "tuners/registry.hpp"
 
 namespace tunio::core {
+
+namespace {
+
+tuner::Stopper make_stopper(const PipelineVariant& variant, TunIO* tunio) {
+  switch (variant.stop) {
+    case StopPolicy::kNone:
+      return tuner::make_no_stopper();
+    case StopPolicy::kHeuristic:
+      return tuner::make_heuristic_stopper();
+    case StopPolicy::kMaxPerf:
+      return tuner::make_max_performance_stopper(variant.max_perf_target);
+    case StopPolicy::kTunio:
+      tunio->early_stopping().reset_episode();
+      return [tunio](unsigned generation,
+                     const tuner::TuningResult& progress) {
+        return tunio->early_stopping().stop(generation, progress.best_perf);
+      };
+  }
+  throw InvalidArgument("unknown stop policy");
+}
+
+}  // namespace
 
 PipelineRun run_pipeline(const cfg::ConfigSpace& space,
                          tuner::Objective& objective, TunIO* tunio,
@@ -13,52 +36,60 @@ PipelineRun run_pipeline(const cfg::ConfigSpace& space,
   tuner::Objective& eval_objective =
       binding.enabled() ? static_cast<tuner::Objective&>(service_objective)
                         : objective;
-  tuner::GeneticTuner tuner(space, eval_objective, ga);
 
   const bool needs_tunio =
       variant.impact_first || variant.stop == StopPolicy::kTunio;
   TUNIO_CHECK_MSG(!needs_tunio || tunio != nullptr,
                   "variant '" + variant.label + "' needs a TunIO instance");
 
-  if (variant.impact_first) {
-    tunio->smart_config().reset_episode();
-    tuner.set_subset_provider(
-        [tunio, &space](unsigned generation,
-                        const tuner::TuningResult& progress) {
-          if (generation == 0 || progress.history.empty()) {
-            std::vector<std::size_t> all(space.num_parameters());
-            for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-            return all;
-          }
-          const tuner::GenerationStats& last = progress.history.back();
-          return tunio->smart_config().subset_picker(last.best_perf,
-                                                     last.subset);
-        });
-  }
-
-  switch (variant.stop) {
-    case StopPolicy::kNone:
-      tuner.set_stopper(tuner::make_no_stopper());
-      break;
-    case StopPolicy::kHeuristic:
-      tuner.set_stopper(tuner::make_heuristic_stopper());
-      break;
-    case StopPolicy::kMaxPerf:
-      tuner.set_stopper(
-          tuner::make_max_performance_stopper(variant.max_perf_target));
-      break;
-    case StopPolicy::kTunio:
-      tunio->early_stopping().reset_episode();
-      tuner.set_stopper([tunio](unsigned generation,
-                                const tuner::TuningResult& progress) {
-        return tunio->early_stopping().stop(generation, progress.best_perf);
-      });
-      break;
-  }
-
   PipelineRun run;
   run.label = variant.label;
-  run.result = tuner.run();
+  run.backend = variant.backend;
+
+  if (variant.backend == "ga") {
+    // The historical pipeline: `GeneticTuner::run` drives itself. Kept
+    // as its own code path so existing variants stay bit-identical.
+    tuner::GeneticTuner tuner(space, eval_objective, ga);
+
+    if (variant.impact_first) {
+      tunio->smart_config().reset_episode();
+      tuner.set_subset_provider(
+          [tunio, &space](unsigned generation,
+                          const tuner::TuningResult& progress) {
+            if (generation == 0 || progress.history.empty()) {
+              std::vector<std::size_t> all(space.num_parameters());
+              for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+              return all;
+            }
+            const tuner::GenerationStats& last = progress.history.back();
+            return tunio->smart_config().subset_picker(last.best_perf,
+                                                       last.subset);
+          });
+    }
+
+    tuner.set_stopper(make_stopper(variant, tunio));
+    run.result = tuner.run();
+    return run;
+  }
+
+  // Alternative backends route through the registry and the shared
+  // driver; the stopper plugs into the driver instead of the GA.
+  tuners::TunerSpec spec;
+  spec.seed = ga.seed;
+  spec.batch = ga.population;
+  spec.max_iterations = ga.max_generations;
+  spec.seed_indices = ga.seed_indices;
+  spec.ga = ga;
+  spec.hints = variant.hints;
+  if (variant.impact_first && tunio != nullptr) {
+    spec.impact = tunio->smart_config().impact_scores();
+  }
+  const std::unique_ptr<tuners::Tuner> backend =
+      tuners::make_tuner(variant.backend, space, eval_objective, spec);
+
+  tuners::DriveOptions drive_options;
+  drive_options.stopper = make_stopper(variant, tunio);
+  run.result = tuners::drive(*backend, eval_objective, drive_options).tuning;
   return run;
 }
 

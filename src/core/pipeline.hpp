@@ -4,6 +4,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/tunio.hpp"
 #include "service/service_objective.hpp"
@@ -20,14 +22,34 @@ enum class StopPolicy {
 };
 
 struct PipelineVariant {
+  PipelineVariant() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): label-only is idiomatic
+  PipelineVariant(std::string label_, bool impact_first_ = false,
+                  StopPolicy stop_ = StopPolicy::kNone,
+                  double max_perf_target_ = 0.0)
+      : label(std::move(label_)),
+        impact_first(impact_first_),
+        stop(stop_),
+        max_perf_target(max_perf_target_) {}
+
   std::string label;
   bool impact_first = false;   ///< attach Smart Configuration Generation
   StopPolicy stop = StopPolicy::kNone;
   double max_perf_target = 0.0;  ///< for kMaxPerf
+  /// Search backend (see tuners::backend_names). "ga" is the historical
+  /// genetic pipeline and keeps its exact code path; other names are
+  /// routed through the tuners registry and driver. Impact-first subset
+  /// selection is a GA hook; for the "rule" backend the impact scores
+  /// are fed in as sweep priorities instead.
+  std::string backend = "ga";
+  /// Knowledge inputs forwarded to the "rule" backend (parameter name,
+  /// weight) — e.g. `analysis::LintReport::tuning_hints()`.
+  std::vector<std::pair<std::string, double>> hints;
 };
 
 struct PipelineRun {
   std::string label;
+  std::string backend;  ///< backend that produced `result`
   tuner::TuningResult result;
 };
 

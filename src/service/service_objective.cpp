@@ -24,6 +24,7 @@ tuner::Evaluation ServiceObjective::evaluate(const cfg::Configuration& config) {
 
 std::vector<tuner::Evaluation> ServiceObjective::evaluate_batch(
     const std::vector<cfg::Configuration>& configs) {
+  BatchScope batch_scope(configs.size());
   std::vector<tuner::Evaluation> results(configs.size());
 
   // Satisfy what the shared cache already knows.

@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "service/service_objective.hpp"
+#include "tuners/registry.hpp"
 
 namespace tunio::service {
 
@@ -83,6 +84,8 @@ TuningServer::~TuningServer() {
 
 JobId TuningServer::submit(JobSpec spec) {
   TUNIO_CHECK_MSG(spec.objective != nullptr, "job needs an objective");
+  TUNIO_CHECK_MSG(tuners::is_backend(spec.backend),
+                  "unknown tuner backend '" + spec.backend + "'");
   if (spec.fingerprint == 0) {
     std::vector<std::size_t> chars(spec.name.begin(), spec.name.end());
     spec.fingerprint = derive_stream(0x5E21'1CE0, hash_indices(chars));
@@ -97,6 +100,7 @@ JobId TuningServer::submit(JobSpec spec) {
     job->spec = std::move(spec);
     job->snapshot.id = id;
     job->snapshot.name = job->spec.name;
+    job->snapshot.backend = job->spec.backend;
     jobs_.emplace(id, std::move(job));
     pending_.push_back(id);
   }
@@ -218,15 +222,14 @@ void TuningServer::run_job(Job& job) {
     ServiceObjective objective(
         *job.spec.objective,
         EvalBinding{&engine_, &cache_, job.spec.fingerprint});
-    tuner::GeneticTuner tuner(space_, objective, job.spec.ga);
 
     // The stopper doubles as the per-generation progress beacon and the
     // cancellation point; tuning state stays consistent because it only
     // runs at generation boundaries.
     tuner::Stopper user_stopper = job.spec.stopper;
-    tuner.set_stopper([this, &job, &objective, user_stopper](
-                          unsigned generation,
-                          const tuner::TuningResult& so_far) {
+    tuner::Stopper beacon = [this, &job, &objective, user_stopper](
+                                unsigned generation,
+                                const tuner::TuningResult& so_far) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
         JobProgress& snap = job.snapshot;
@@ -243,9 +246,30 @@ void TuningServer::run_job(Job& job) {
       job_update_.notify_all();
       if (job.cancel_requested.load(std::memory_order_relaxed)) return true;
       return user_stopper && user_stopper(generation, so_far);
-    });
+    };
 
-    tuner::TuningResult result = tuner.run();
+    tuner::TuningResult result;
+    if (job.spec.backend == "ga") {
+      // Historical path: the GA drives itself (bit-identical to every
+      // pre-backend release).
+      tuner::GeneticTuner tuner(space_, objective, job.spec.ga);
+      tuner.set_stopper(beacon);
+      result = tuner.run();
+    } else {
+      tuners::TunerSpec tuner_spec;
+      tuner_spec.seed = job.spec.ga.seed;
+      tuner_spec.batch = job.spec.ga.population;
+      tuner_spec.max_iterations = job.spec.ga.max_generations;
+      tuner_spec.seed_indices = job.spec.ga.seed_indices;
+      tuner_spec.ga = job.spec.ga;
+      tuner_spec.hints = job.spec.hints;
+      tuner_spec.impact = job.spec.impact;
+      const std::unique_ptr<tuners::Tuner> backend =
+          tuners::make_tuner(job.spec.backend, space_, objective, tuner_spec);
+      tuners::DriveOptions drive_options;
+      drive_options.stopper = beacon;
+      result = tuners::drive(*backend, objective, drive_options).tuning;
+    }
     const bool cancelled =
         job.cancel_requested.load(std::memory_order_relaxed);
 

@@ -30,6 +30,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "config/space.hpp"
@@ -53,7 +54,16 @@ struct JobSpec {
   /// Cache namespace (workload + testbed identity). 0 derives one from
   /// `name`, which keeps distinct-named jobs from cross-hitting.
   std::uint64_t fingerprint = 0;
+  /// Search backend (see tuners::backend_names). "ga" runs the
+  /// historical genetic pipeline; other names route through the tuners
+  /// registry and driver. Progress beacons, cancellation, caching and
+  /// budget accounting work identically for every backend.
+  std::string backend = "ga";
   tuner::GaOptions ga;
+  /// Knowledge inputs for the "rule" backend (parameter name, weight)
+  /// and impact scores — ignored by the other backends.
+  std::vector<std::pair<std::string, double>> hints;
+  std::vector<double> impact;
   /// Optional extra stop policy, consulted after every generation.
   tuner::Stopper stopper;
 };
@@ -62,6 +72,7 @@ struct JobSpec {
 struct JobProgress {
   JobId id = 0;
   std::string name;
+  std::string backend;  ///< search backend the job runs ("ga", "bo", ...)
   JobState state = JobState::kQueued;
   unsigned generations_done = 0;
   double best_perf = 0.0;

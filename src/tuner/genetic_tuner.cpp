@@ -44,6 +44,7 @@ GeneticTuner::GeneticTuner(const cfg::ConfigSpace& space, Objective& objective,
   TUNIO_CHECK_MSG(options_.tournament_size >= 2, "tournament too small");
   TUNIO_CHECK_MSG(options_.elitism < options_.population,
                   "elitism must leave room for offspring");
+  exhausted_ = options_.max_generations == 0;
 }
 
 void GeneticTuner::set_subset_provider(SubsetProvider provider) {
@@ -69,54 +70,6 @@ GeneticTuner::Genome GeneticTuner::random_genome() {
   return genome;
 }
 
-double GeneticTuner::evaluate_population(const std::vector<Genome>& population,
-                                         std::vector<double>& scores) {
-  // Partition the generation into cache hits and fresh work. The fresh
-  // genomes go through `evaluate_batch` as one batch, so a parallel
-  // objective (the service evaluation engine) overlaps them; duplicates
-  // within a generation are evaluated once when caching is on.
-  std::vector<cfg::Configuration> batch;
-  std::vector<std::size_t> batch_slot;  // population index of batch[i]
-  std::map<Genome, std::size_t> in_batch;
-  for (std::size_t i = 0; i < population.size(); ++i) {
-    if (options_.cache_evaluations) {
-      if (fitness_cache_.count(population[i]) > 0 ||
-          in_batch.count(population[i]) > 0) {
-        continue;
-      }
-      in_batch.emplace(population[i], batch.size());
-    }
-    batch.push_back(to_config(population[i]));
-    batch_slot.push_back(i);
-  }
-
-  const std::vector<Evaluation> fresh = objective_.evaluate_batch(batch);
-  TUNIO_CHECK_MSG(fresh.size() == batch.size(),
-                  "evaluate_batch returned wrong arity");
-  TunerMetrics::get().evaluations.add(batch.size());
-  TunerMetrics::get().cache_hits.add(population.size() - batch_slot.size());
-
-  // Budget accounting sums the *simulated* cost of the fresh evaluations
-  // — never wall-clock — so a parallel engine bills exactly what a
-  // serial run would. Cache hits bill zero: nothing was re-run.
-  double billed_seconds = 0.0;
-  for (const Evaluation& eval : fresh) billed_seconds += eval.eval_seconds;
-
-  if (options_.cache_evaluations) {
-    for (std::size_t b = 0; b < batch.size(); ++b) {
-      fitness_cache_.emplace(population[batch_slot[b]], fresh[b]);
-    }
-    for (std::size_t i = 0; i < population.size(); ++i) {
-      scores[i] = fitness_cache_.at(population[i]).perf_mbps;
-    }
-  } else {
-    for (std::size_t b = 0; b < batch.size(); ++b) {
-      scores[batch_slot[b]] = fresh[b].perf_mbps;
-    }
-  }
-  return billed_seconds;
-}
-
 std::pair<const GeneticTuner::Genome*, const GeneticTuner::Genome*>
 GeneticTuner::tournament(const std::vector<Genome>& population,
                          const std::vector<double>& scores) {
@@ -134,160 +87,230 @@ GeneticTuner::tournament(const std::vector<Genome>& population,
   return {&population[contestants[0]], &population[contestants[1]]};
 }
 
-TuningResult GeneticTuner::run() {
-  TuningResult result;
-
-  // Initial population: the stack defaults (or the caller's seed
-  // configuration) plus mutated explorers. Individual 0 also measures
-  // the starting perf reported as `initial_perf`.
-  std::vector<Genome> population;
-  if (options_.seed_indices.has_value()) {
-    TUNIO_CHECK_MSG(options_.seed_indices->size() == space_.num_parameters(),
-                    "seed configuration arity mismatch");
-    population.push_back(*options_.seed_indices);
-  } else {
-    population.push_back(space_.default_configuration().indices());
-  }
-  while (population.size() < options_.population) {
-    population.push_back(random_genome());
-  }
-
-  double cumulative_seconds = 0.0;
-  std::vector<double> scores(population.size(), 0.0);
-  Genome best_genome = population.front();
-  double best_perf = -1.0;
-
-  for (unsigned generation = 0; generation < options_.max_generations;
-       ++generation) {
-    // Smart Configuration Generation hook: which genes may move.
-    std::vector<std::size_t> subset;
-    if (subset_provider_) {
-      subset = subset_provider_(generation, result);
-      std::sort(subset.begin(), subset.end());
-      subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
-      TUNIO_CHECK_MSG(
-          subset.empty() || subset.back() < space_.num_parameters(),
-          "subset index out of range");
+void GeneticTuner::breed() {
+  const std::vector<std::size_t>& subset = last_subset_;
+  std::vector<Genome> next;
+  next.reserve(population_.size());
+  // Elitism: the best individuals survive unchanged.
+  {
+    std::vector<std::size_t> order(population_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return scores_[a] > scores_[b];
+    });
+    for (unsigned e = 0; e < options_.elitism; ++e) {
+      next.push_back(population_[order[e]]);
     }
-
-    // Evaluate the population (one batch; possibly in parallel).
-    const double generation_start = cumulative_seconds;
-    cumulative_seconds += evaluate_population(population, scores);
-    // Downstream RL hooks (stoppers, subset pickers) run between
-    // generations and own no clock; the ambient timestamp hands them the
-    // tuning-budget time so their trace events land on the right axis.
-    obs::Tracer::set_ambient_seconds(cumulative_seconds);
-    double generation_best = -1.0;
-    for (std::size_t i = 0; i < population.size(); ++i) {
-      generation_best = std::max(generation_best, scores[i]);
-      if (scores[i] > best_perf) {
-        best_perf = scores[i];
-        best_genome = population[i];
+  }
+  while (next.size() < options_.population) {
+    auto [parent_a, parent_b] = tournament(population_, scores_);
+    Genome child_a = *parent_a;
+    Genome child_b = *parent_b;
+    if (rng_.chance(options_.crossover_prob)) {
+      // Uniform crossover.
+      for (std::size_t g = 0; g < child_a.size(); ++g) {
+        if (rng_.chance(0.5)) std::swap(child_a[g], child_b[g]);
       }
     }
-    if (generation == 0) {
-      result.initial_perf = scores[0];  // the default configuration
+    // With a restricted subset, concentrate the same mutation pressure
+    // on the few free genes (a masked generation should explore its
+    // subspace as vigorously as a full generation explores the space).
+    const double gene_mutation_prob =
+        subset.empty()
+            ? options_.mutation_prob
+            : std::max(options_.mutation_prob,
+                       std::min(0.5, options_.mutation_prob *
+                                         static_cast<double>(
+                                             space_.num_parameters()) /
+                                         static_cast<double>(subset.size())));
+    auto mutate = [&](Genome& genome) {
+      for (std::size_t g = 0; g < genome.size(); ++g) {
+        if (rng_.chance(gene_mutation_prob)) {
+          genome[g] = rng_.index(space_.parameter(g).domain.size());
+        }
+      }
+    };
+    mutate(child_a);
+    mutate(child_b);
+    // Impact-first masking: genes outside the subset are frozen at the
+    // elite's values, so the search only explores high-impact axes.
+    if (!subset.empty()) {
+      auto in_subset = [&](std::size_t g) {
+        return std::binary_search(subset.begin(), subset.end(), g);
+      };
+      for (std::size_t g = 0; g < child_a.size(); ++g) {
+        if (!in_subset(g)) {
+          child_a[g] = best_genome_[g];
+          child_b[g] = best_genome_[g];
+        }
+      }
     }
-
-    GenerationStats stats;
-    stats.generation = generation;
-    stats.generation_best_perf = generation_best;
-    stats.best_perf = best_perf;
-    stats.cumulative_seconds = cumulative_seconds;
-    stats.subset = subset;
-    result.history.push_back(stats);
-    result.best_perf = best_perf;
-    result.best_config = to_config(best_genome);
-    result.total_seconds = cumulative_seconds;
-    result.generations_run = generation + 1;
-
-    TunerMetrics::get().generations.add(1);
-    TunerMetrics::get().budget_seconds.add(cumulative_seconds -
-                                           generation_start);
-    obs::Tracer& tracer = obs::Tracer::global();
-    if (tracer.enabled()) {
-      // Generations live on the cumulative tuning-budget clock, a
-      // different axis from the per-run sim clocks of the stack spans.
-      tracer.span("tuner", "generation", generation_start, cumulative_seconds,
-                  obs::kPidTuner, /*tid=*/0,
-                  {{"generation", std::to_string(generation)},
-                   {"best_mbps", obs::json_number(best_perf)},
-                   {"gen_best_mbps", obs::json_number(generation_best)}});
+    next.push_back(std::move(child_a));
+    if (next.size() < options_.population) {
+      next.push_back(std::move(child_b));
     }
+  }
+  population_ = std::move(next);
+  scores_.assign(population_.size(), 0.0);
+}
+
+std::vector<cfg::Configuration> GeneticTuner::begin_iteration() {
+  TUNIO_CHECK_MSG(!pending_, "begin_iteration before observing the last one");
+  TUNIO_CHECK_MSG(!exhausted_, "tuner already ran its full budget");
+
+  if (!initialized_) {
+    // Initial population: the stack defaults (or the caller's seed
+    // configuration) plus mutated explorers. Individual 0 also measures
+    // the starting perf reported as `initial_perf`.
+    if (options_.seed_indices.has_value()) {
+      TUNIO_CHECK_MSG(options_.seed_indices->size() == space_.num_parameters(),
+                      "seed configuration arity mismatch");
+      population_.push_back(*options_.seed_indices);
+    } else {
+      population_.push_back(space_.default_configuration().indices());
+    }
+    while (population_.size() < options_.population) {
+      population_.push_back(random_genome());
+    }
+    scores_.assign(population_.size(), 0.0);
+    best_genome_ = population_.front();
+    initialized_ = true;
+  } else {
+    // Breed the next generation from the observed one. The mask is the
+    // subset active when those scores were produced (`last_subset_`);
+    // the provider below picks the subset for the *following* breeding,
+    // exactly the call order of the historical single-loop `run()`.
+    breed();
+  }
+
+  // Smart Configuration Generation hook: which genes may move.
+  subset_.clear();
+  if (subset_provider_) {
+    subset_ = subset_provider_(generation_, result_);
+    std::sort(subset_.begin(), subset_.end());
+    subset_.erase(std::unique(subset_.begin(), subset_.end()), subset_.end());
+    TUNIO_CHECK_MSG(subset_.empty() || subset_.back() < space_.num_parameters(),
+                    "subset index out of range");
+  }
+
+  // Partition the generation into cache hits and fresh work. The fresh
+  // genomes go through `evaluate_batch` as one batch, so a parallel
+  // objective (the service evaluation engine) overlaps them; duplicates
+  // within a generation are evaluated once when caching is on.
+  std::vector<cfg::Configuration> batch;
+  batch_slot_.clear();
+  std::map<Genome, std::size_t> in_batch;
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    if (options_.cache_evaluations) {
+      if (fitness_cache_.count(population_[i]) > 0 ||
+          in_batch.count(population_[i]) > 0) {
+        continue;
+      }
+      in_batch.emplace(population_[i], batch.size());
+    }
+    batch.push_back(to_config(population_[i]));
+    batch_slot_.push_back(i);
+  }
+  pending_ = true;
+  return batch;
+}
+
+double GeneticTuner::observe_iteration(const std::vector<Evaluation>& fresh) {
+  TUNIO_CHECK_MSG(pending_, "observe_iteration without a begin_iteration");
+  TUNIO_CHECK_MSG(fresh.size() == batch_slot_.size(),
+                  "evaluate_batch returned wrong arity");
+  pending_ = false;
+
+  TunerMetrics::get().evaluations.add(fresh.size());
+  TunerMetrics::get().cache_hits.add(population_.size() - batch_slot_.size());
+
+  // Budget accounting sums the *simulated* cost of the fresh evaluations
+  // — never wall-clock — so a parallel engine bills exactly what a
+  // serial run would. Cache hits bill zero: nothing was re-run.
+  double billed_seconds = 0.0;
+  for (const Evaluation& eval : fresh) billed_seconds += eval.eval_seconds;
+
+  if (options_.cache_evaluations) {
+    for (std::size_t b = 0; b < fresh.size(); ++b) {
+      fitness_cache_.emplace(population_[batch_slot_[b]], fresh[b]);
+    }
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+      scores_[i] = fitness_cache_.at(population_[i]).perf_mbps;
+    }
+  } else {
+    for (std::size_t b = 0; b < fresh.size(); ++b) {
+      scores_[batch_slot_[b]] = fresh[b].perf_mbps;
+    }
+  }
+
+  const double generation_start = cumulative_seconds_;
+  cumulative_seconds_ += billed_seconds;
+  // Downstream RL hooks (stoppers, subset pickers) run between
+  // generations and own no clock; the ambient timestamp hands them the
+  // tuning-budget time so their trace events land on the right axis.
+  obs::Tracer::set_ambient_seconds(cumulative_seconds_);
+  double generation_best = -1.0;
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    generation_best = std::max(generation_best, scores_[i]);
+    if (scores_[i] > best_perf_) {
+      best_perf_ = scores_[i];
+      best_genome_ = population_[i];
+    }
+  }
+  if (generation_ == 0) {
+    result_.initial_perf = scores_[0];  // the default configuration
+  }
+
+  GenerationStats stats;
+  stats.generation = generation_;
+  stats.generation_best_perf = generation_best;
+  stats.best_perf = best_perf_;
+  stats.cumulative_seconds = cumulative_seconds_;
+  stats.subset = subset_;
+  result_.history.push_back(stats);
+  result_.best_perf = best_perf_;
+  result_.best_config = to_config(best_genome_);
+  result_.total_seconds = cumulative_seconds_;
+  result_.generations_run = generation_ + 1;
+
+  TunerMetrics::get().generations.add(1);
+  TunerMetrics::get().budget_seconds.add(cumulative_seconds_ -
+                                         generation_start);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // Generations live on the cumulative tuning-budget clock, a
+    // different axis from the per-run sim clocks of the stack spans.
+    tracer.span("tuner", "generation", generation_start, cumulative_seconds_,
+                obs::kPidTuner, /*tid=*/0,
+                {{"generation", std::to_string(generation_)},
+                 {"best_mbps", obs::json_number(best_perf_)},
+                 {"gen_best_mbps", obs::json_number(generation_best)}});
+  }
+
+  last_subset_ = subset_;
+  ++generation_;
+  if (generation_ >= options_.max_generations) exhausted_ = true;
+  return billed_seconds;
+}
+
+void GeneticTuner::mark_early_stopped() {
+  result_.early_stopped = true;
+  exhausted_ = true;
+}
+
+TuningResult GeneticTuner::run() {
+  while (!exhausted_) {
+    const std::vector<cfg::Configuration> batch = begin_iteration();
+    const std::vector<Evaluation> fresh = objective_.evaluate_batch(batch);
+    observe_iteration(fresh);
 
     // Early stopping hook.
-    if (stopper_ && stopper_(generation, result)) {
-      result.early_stopped = true;
+    if (stopper_ && stopper_(generation_ - 1, result_)) {
+      mark_early_stopped();
       break;
     }
-    if (generation + 1 == options_.max_generations) break;
-
-    // Breed the next generation.
-    std::vector<Genome> next;
-    next.reserve(population.size());
-    // Elitism: the best individuals survive unchanged.
-    {
-      std::vector<std::size_t> order(population.size());
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return scores[a] > scores[b];
-      });
-      for (unsigned e = 0; e < options_.elitism; ++e) {
-        next.push_back(population[order[e]]);
-      }
-    }
-    while (next.size() < options_.population) {
-      auto [parent_a, parent_b] = tournament(population, scores);
-      Genome child_a = *parent_a;
-      Genome child_b = *parent_b;
-      if (rng_.chance(options_.crossover_prob)) {
-        // Uniform crossover.
-        for (std::size_t g = 0; g < child_a.size(); ++g) {
-          if (rng_.chance(0.5)) std::swap(child_a[g], child_b[g]);
-        }
-      }
-      // With a restricted subset, concentrate the same mutation pressure
-      // on the few free genes (a masked generation should explore its
-      // subspace as vigorously as a full generation explores the space).
-      const double gene_mutation_prob =
-          subset.empty()
-              ? options_.mutation_prob
-              : std::max(options_.mutation_prob,
-                         std::min(0.5, options_.mutation_prob *
-                                           static_cast<double>(
-                                               space_.num_parameters()) /
-                                           static_cast<double>(subset.size())));
-      auto mutate = [&](Genome& genome) {
-        for (std::size_t g = 0; g < genome.size(); ++g) {
-          if (rng_.chance(gene_mutation_prob)) {
-            genome[g] = rng_.index(space_.parameter(g).domain.size());
-          }
-        }
-      };
-      mutate(child_a);
-      mutate(child_b);
-      // Impact-first masking: genes outside the subset are frozen at the
-      // elite's values, so the search only explores high-impact axes.
-      if (!subset.empty()) {
-        auto in_subset = [&](std::size_t g) {
-          return std::binary_search(subset.begin(), subset.end(), g);
-        };
-        for (std::size_t g = 0; g < child_a.size(); ++g) {
-          if (!in_subset(g)) {
-            child_a[g] = best_genome[g];
-            child_b[g] = best_genome[g];
-          }
-        }
-      }
-      next.push_back(std::move(child_a));
-      if (next.size() < options_.population) {
-        next.push_back(std::move(child_b));
-      }
-    }
-    population = std::move(next);
-    scores.assign(population.size(), 0.0);
   }
-  return result;
+  return result_;
 }
 
 }  // namespace tunio::tuner

@@ -86,8 +86,39 @@ class GeneticTuner {
   void set_subset_provider(SubsetProvider provider);
   void set_stopper(Stopper stopper);
 
-  /// Runs the full tuning pipeline.
+  /// Runs the full tuning pipeline: drives the stepping API below until
+  /// the generation budget is exhausted or the stopper fires.
   TuningResult run();
+
+  // --- stepping API (the `tuners::Tuner` face of the GA) -----------------
+  //
+  // `run()` is exactly `while (!exhausted()) observe_iteration(
+  // objective.evaluate_batch(begin_iteration()))` plus the stopper, so an
+  // external driver interleaving the same calls reproduces `run()`
+  // bit-identically: the RNG draw order (initial population, then one
+  // breeding pass per generation) and the evaluate_batch sequence are the
+  // same whichever loop issues them.
+
+  /// Breeds (or initializes) the coming generation's population, consults
+  /// the subset provider, partitions the population against the fitness
+  /// cache, and returns the configurations that need fresh evaluation —
+  /// possibly empty when every individual is a cache hit (the generation
+  /// still advances on `observe_iteration`).
+  std::vector<cfg::Configuration> begin_iteration();
+
+  /// Accepts evaluations for exactly the configurations the last
+  /// `begin_iteration` returned (same order). Updates bests, history and
+  /// metrics; returns the simulated seconds billed to the budget.
+  double observe_iteration(const std::vector<Evaluation>& fresh);
+
+  /// Tuning progress so far (valid after the first `observe_iteration`).
+  const TuningResult& progress() const { return result_; }
+
+  /// True once `max_generations` generations have been observed.
+  bool exhausted() const { return exhausted_; }
+
+  /// Records that an external stopper terminated the search.
+  void mark_early_stopped();
 
  private:
   using Genome = std::vector<std::size_t>;
@@ -95,12 +126,9 @@ class GeneticTuner {
   cfg::Configuration to_config(const Genome& genome) const;
   Genome random_genome();
 
-  /// Scores a whole population through `Objective::evaluate_batch`,
-  /// consulting the fitness cache first. Fills `scores` (perf per
-  /// individual) and returns the simulated seconds billed — the sum of
-  /// the fresh evaluations' costs; cache hits bill nothing.
-  double evaluate_population(const std::vector<Genome>& population,
-                             std::vector<double>& scores);
+  /// Breeds `population_` into the next generation (elitism, tournament
+  /// selection, crossover, mutation, subset masking).
+  void breed();
 
   /// Tournament: sample `tournament_size`, return the best two.
   std::pair<const Genome*, const Genome*> tournament(
@@ -118,6 +146,21 @@ class GeneticTuner {
   /// the same accounting the service-layer result cache uses, so a run
   /// behaves identically whichever cache satisfies a repeat genome.
   std::map<Genome, Evaluation> fitness_cache_;
+
+  // Stepping state.
+  TuningResult result_;
+  std::vector<Genome> population_;
+  std::vector<double> scores_;
+  Genome best_genome_;
+  double best_perf_ = -1.0;
+  double cumulative_seconds_ = 0.0;
+  unsigned generation_ = 0;  ///< generation currently in flight
+  bool initialized_ = false;
+  bool exhausted_ = false;
+  bool pending_ = false;  ///< begin_iteration issued, observe outstanding
+  std::vector<std::size_t> subset_;       ///< this generation's free genes
+  std::vector<std::size_t> last_subset_;  ///< masks the *next* breeding
+  std::vector<std::size_t> batch_slot_;   ///< population index per batch entry
 };
 
 }  // namespace tunio::tuner

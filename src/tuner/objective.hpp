@@ -94,6 +94,24 @@ class Objective {
 
   /// Total evaluations performed so far.
   virtual std::uint64_t evaluations() const = 0;
+
+ protected:
+  /// Counts one top-level batch into the `tuner.eval.batches` /
+  /// `tuner.eval.requested` counters. `evaluate_batch` implementations
+  /// open one scope for the whole call; nested scopes (a caching
+  /// objective delegating its misses to the inner objective's
+  /// `evaluate_batch`) count nothing, so the counters measure what the
+  /// search requested, not how the layers split the work.
+  class BatchScope {
+   public:
+    explicit BatchScope(std::size_t requested);
+    ~BatchScope();
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    bool counted_;
+  };
 };
 
 /// Evaluates a native workload driver.

@@ -1,0 +1,32 @@
+#include "tuners/ga_adapter.hpp"
+
+namespace tunio::tuners {
+
+GaTunerAdapter::GaTunerAdapter(const cfg::ConfigSpace& space,
+                               tuner::Objective& objective,
+                               tuner::GaOptions options)
+    : ga_(space, objective, options) {}
+
+void GaTunerAdapter::set_subset_provider(tuner::SubsetProvider provider) {
+  ga_.set_subset_provider(std::move(provider));
+}
+
+std::vector<cfg::Configuration> GaTunerAdapter::propose() {
+  return ga_.begin_iteration();
+}
+
+void GaTunerAdapter::observe(const std::vector<tuner::Evaluation>& evals) {
+  ga_.observe_iteration(evals);
+}
+
+const tuner::TuningResult& GaTunerAdapter::progress() const {
+  return ga_.progress();
+}
+
+bool GaTunerAdapter::done() const { return ga_.exhausted(); }
+
+void GaTunerAdapter::finish(bool early_stopped) {
+  if (early_stopped) ga_.mark_early_stopped();
+}
+
+}  // namespace tunio::tuners

@@ -1,0 +1,39 @@
+#include "tuners/random_tuner.hpp"
+
+#include "common/error.hpp"
+
+namespace tunio::tuners {
+
+RandomTuner::RandomTuner(const cfg::ConfigSpace& space, RandomOptions options)
+    : TunerBase("random", space), options_(options), rng_(options.seed) {
+  TUNIO_CHECK_MSG(options_.batch > 0, "random batch must be positive");
+  if (options_.seed_indices.has_value()) {
+    TUNIO_CHECK_MSG(options_.seed_indices->size() == space.num_parameters(),
+                    "seed configuration arity mismatch");
+  }
+}
+
+std::vector<cfg::Configuration> RandomTuner::next_batch() {
+  std::vector<cfg::Configuration> batch;
+  if (iteration() == 0) {
+    batch.emplace_back(
+        &space(), options_.seed_indices.has_value()
+                      ? *options_.seed_indices
+                      : space().default_configuration().indices());
+  }
+  while (batch.size() < options_.batch) {
+    std::vector<std::size_t> indices(space().num_parameters());
+    for (std::size_t p = 0; p < indices.size(); ++p) {
+      indices[p] = rng_.index(space().parameter(p).domain.size());
+    }
+    batch.emplace_back(&space(), std::move(indices));
+  }
+  return batch;
+}
+
+void RandomTuner::absorb(const std::vector<cfg::Configuration>&,
+                         const std::vector<tuner::Evaluation>&) {
+  if (iteration() + 1 >= options_.max_iterations) set_done();
+}
+
+}  // namespace tunio::tuners

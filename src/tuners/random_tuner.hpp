@@ -1,0 +1,42 @@
+// Seeded uniform random search — the tournament's control backend.
+//
+// Proposes fixed-size batches of uniform draws from the configuration
+// space (the first batch leads with the starting point so
+// `initial_perf` means the same thing as everywhere else). Any backend
+// claiming to be "sample efficient" has to beat this on
+// best-bandwidth-per-evaluation; see bench/tuner_tournament.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuners/tuner_base.hpp"
+
+namespace tunio::tuners {
+
+struct RandomOptions {
+  unsigned batch = 8;
+  /// Iteration horizon (the driver's budget usually stops earlier).
+  unsigned max_iterations = 50;
+  std::uint64_t seed = 0x5EED'0DD5;
+  /// Optional starting configuration (domain indices); defaults start.
+  std::optional<std::vector<std::size_t>> seed_indices;
+};
+
+class RandomTuner final : public TunerBase {
+ public:
+  RandomTuner(const cfg::ConfigSpace& space, RandomOptions options = {});
+
+ protected:
+  std::vector<cfg::Configuration> next_batch() override;
+  void absorb(const std::vector<cfg::Configuration>& batch,
+              const std::vector<tuner::Evaluation>& evals) override;
+
+ private:
+  RandomOptions options_;
+  Rng rng_;
+};
+
+}  // namespace tunio::tuners

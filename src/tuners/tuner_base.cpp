@@ -1,0 +1,80 @@
+#include "tuners/tuner_base.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace tunio::tuners {
+
+TunerBase::TunerBase(std::string backend_name, const cfg::ConfigSpace& space)
+    : space_(space), name_(std::move(backend_name)) {}
+
+std::vector<cfg::Configuration> TunerBase::propose() {
+  TUNIO_CHECK_MSG(!pending_issued_, "propose before observing the last batch");
+  TUNIO_CHECK_MSG(!done_, "backend '" + name_ + "' is done");
+  pending_ = next_batch();
+  pending_issued_ = true;
+  return pending_;
+}
+
+void TunerBase::observe(const std::vector<tuner::Evaluation>& evals) {
+  TUNIO_CHECK_MSG(pending_issued_, "observe without a propose");
+  TUNIO_CHECK_MSG(evals.size() == pending_.size(),
+                  "evaluate_batch returned wrong arity");
+  pending_issued_ = false;
+
+  double billed_seconds = 0.0;
+  double iteration_best = -1.0;
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    billed_seconds += evals[i].eval_seconds;
+    iteration_best = std::max(iteration_best, evals[i].perf_mbps);
+    if (evals[i].perf_mbps > best_perf_) {
+      best_perf_ = evals[i].perf_mbps;
+      result_.best_config = pending_[i];
+    }
+  }
+  if (iteration_ == 0 && !evals.empty()) {
+    // First config of the first batch is the starting point.
+    result_.initial_perf = evals.front().perf_mbps;
+  }
+
+  const double iteration_start = cumulative_seconds_;
+  cumulative_seconds_ += billed_seconds;
+  obs::Tracer::set_ambient_seconds(cumulative_seconds_);
+
+  tuner::GenerationStats stats;
+  stats.generation = iteration_;
+  stats.generation_best_perf = iteration_best;
+  stats.best_perf = best_perf_;
+  stats.cumulative_seconds = cumulative_seconds_;
+  result_.history.push_back(stats);
+  result_.best_perf = best_perf_;
+  result_.total_seconds = cumulative_seconds_;
+  result_.generations_run = iteration_ + 1;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("tuners." + name_ + ".evaluations").add(evals.size());
+  registry.gauge("tuners." + name_ + ".best_mbps").set(best_perf_);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // Same axis as GA generations: the cumulative tuning-budget clock.
+    tracer.span("tuner", name_ + ".iteration", iteration_start,
+                cumulative_seconds_, obs::kPidTuner, /*tid=*/0,
+                {{"iteration", std::to_string(iteration_)},
+                 {"best_mbps", obs::json_number(best_perf_)},
+                 {"batch", std::to_string(evals.size())}});
+  }
+
+  absorb(pending_, evals);
+  pending_.clear();
+  ++iteration_;
+}
+
+void TunerBase::finish(bool early_stopped) {
+  if (early_stopped) result_.early_stopped = true;
+  done_ = true;
+}
+
+}  // namespace tunio::tuners

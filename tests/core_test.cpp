@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/early_stopping.hpp"
 #include "core/roti.hpp"
@@ -96,6 +97,63 @@ TEST(EarlyStopping, NeverStopsBeforeMinIterations) {
   for (unsigned t = 0; t < 11; ++t) {
     EXPECT_FALSE(stopper.stop(t, 1000.0)) << "iteration " << t;
   }
+}
+
+TEST(EarlyStopping, FirstQueryBeforeAnyObservationIsSafe) {
+  // A cold agent (no offline training, no prior episode state) queried
+  // on its very first observation must answer without tripping internal
+  // invariants — and never stop inside the warmup window.
+  EarlyStoppingOptions options;
+  options.min_iterations = 2;
+  EarlyStopping stopper(options);
+  stopper.reset_episode();
+  EXPECT_FALSE(stopper.stop(0, 5000.0));
+}
+
+TEST(EarlyStopping, NonFiniteBandwidthIsTreatedAsZero) {
+  // Twin agents with identical seeds and training: one is fed NaN/inf
+  // observations (a failed evaluation upstream), the other literal 0.0.
+  // The non-finite guard must make their observation streams — and so
+  // their decisions and online-learned state — indistinguishable.
+  EarlyStoppingOptions options;
+  options.min_iterations = 1;
+  options.episodes_per_epoch = 8;
+  options.min_epochs = 2;
+  options.max_epochs = 3;
+  EarlyStopping poisoned(options);
+  EarlyStopping clean(options);
+  poisoned.train_offline();
+  clean.train_offline();
+  poisoned.reset_episode();
+  clean.reset_episode();
+  for (unsigned t = 0; t < 8; ++t) {
+    const double bad = t % 2 == 0 ? std::numeric_limits<double>::quiet_NaN()
+                                  : std::numeric_limits<double>::infinity();
+    const bool a = poisoned.stop(t, bad);
+    const bool b = clean.stop(t, 0.0);
+    EXPECT_EQ(a, b) << "iteration " << t;
+    if (a || b) break;
+  }
+}
+
+TEST(EarlyStopping, WarmupBoundaryEqualToHorizonStillDecides) {
+  // min_iterations == max_iterations: the warmup window covers the
+  // whole budget, so every query but the last is forced to continue and
+  // the final-iteration query must still answer cleanly.
+  EarlyStoppingOptions options;
+  options.min_iterations = 5;
+  options.max_iterations = 5;
+  options.episodes_per_epoch = 8;
+  options.min_epochs = 2;
+  options.max_epochs = 3;
+  EarlyStopping stopper(options);
+  stopper.train_offline();
+  stopper.reset_episode();
+  for (unsigned t = 0; t + 1 < 5; ++t) {
+    EXPECT_FALSE(stopper.stop(t, 1000.0 * (t + 1))) << "iteration " << t;
+  }
+  // The boundary query may stop or continue — it only must not trip.
+  (void)stopper.stop(4, 6000.0);
 }
 
 TEST(EarlyStopping, TrainedAgentRidesRisesAndQuitsFlats) {
