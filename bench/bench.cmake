@@ -50,6 +50,7 @@ tunio_add_bench(ablation_components)
 tunio_add_bench(service_throughput)
 tunio_add_bench(eval_fast_path)
 tunio_add_bench(tuner_tournament)
+tunio_add_bench(static_analysis)
 
 # Micro-benchmarks (google-benchmark) for the substrates themselves. Uses
 # a custom main (not benchmark_main) so `--json` produces the same

@@ -31,6 +31,8 @@ std::string kind_name(LintKind kind) {
     case LintKind::kIndependentIoInLoop: return "independent-io-in-loop";
     case LintKind::kDeadWrite: return "dead-write";
     case LintKind::kContiguousLargeAccess: return "contiguous-large-access";
+    case LintKind::kUnboundedLoopIo: return "unbounded-loop-io";
+    case LintKind::kSettingsDependentIo: return "settings-dependent-io";
   }
   return "<?>";
 }
@@ -83,6 +85,10 @@ std::vector<std::pair<std::string, double>> LintReport::tuning_hints() const {
                          : d.severity == Severity::kWarning ? 2.0 : 1.0;
     for (const std::string& param : d.hint_params) weight[param] += w;
   }
+  // Static-impact pre-ranking: already normalized to (0, 1], folded in
+  // at one info-severity unit so it refines ties without drowning the
+  // diagnostics' explicit findings.
+  for (const auto& [param, w] : static_impact(cost)) weight[param] += w;
   double max_weight = 0.0;
   for (const auto& [param, w] : weight) max_weight = std::max(max_weight, w);
   std::vector<std::pair<std::string, double>> hints(weight.begin(),
@@ -119,6 +125,13 @@ class Linter {
       analyses_[&fn] = std::move(fa);
     }
     compute_loop_residency();
+    // The cost model powers the interval fallbacks and the unbounded /
+    // settings-dependent passes; an unanalyzable program just loses
+    // those refinements (predict_cost never throws).
+    report_.cost = predict_cost(program);
+    for (const SiteCost& site : report_.cost.sites) {
+      site_of_[site.site] = &site;
+    }
   }
 
   LintReport run() {
@@ -126,6 +139,7 @@ class Linter {
       for (int id : index_.function_stmts(fn)) check_stmt(id);
       check_dead_writes(fn);
     }
+    check_cost_sites();
     // Deterministic order: by function appearance, then line, then kind.
     std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
@@ -333,6 +347,21 @@ class Linter {
         if (per_rank && elem_size) bytes = *per_rank * *elem_size;
       }
 
+      // Interval fallback: where def-use folding fails (joined handles,
+      // interprocedural values), the abstract interpreter's per-site
+      // payload may still pin the size exactly — or bound it tightly
+      // enough for a definite verdict (see check_payload_bounds).
+      Interval payload = Interval::constant(0);
+      if (const SiteCost* site = site_of(e)) {
+        payload = site->payload_per_call;
+        if (!bytes && payload.is_constant() && payload.lo > 0) {
+          bytes = payload.lo;
+        }
+      }
+      if (!bytes) {
+        check_payload_bounds(e, rec, payload, looped, is_write, bulk);
+      }
+
       if (strided && looped) {
         emit(LintKind::kIndependentIoInLoop, Severity::kWarning, e, rec,
              "per-block strided " +
@@ -369,6 +398,68 @@ class Linter {
         }
       }
     });
+  }
+
+  const SiteCost* site_of(const Expr& call) const {
+    const auto it = site_of_.find(&call);
+    return it == site_of_.end() ? nullptr : it->second;
+  }
+
+  /// Definite small/large verdicts from payload *intervals* when the
+  /// exact size is unknown: an upper bound under the small-write
+  /// threshold, or a lower bound over the large-access threshold, is
+  /// already conclusive.
+  void check_payload_bounds(const Expr& e, const StmtRecord& rec,
+                            const Interval& payload, bool looped,
+                            bool is_write, bool bulk) {
+    if (looped && is_write && payload.hi > 0 && payload.bounded_above() &&
+        static_cast<std::uint64_t>(payload.hi) < options_.small_write_bytes) {
+      emit(LintKind::kSmallWritesInLoop, Severity::kWarning, e, rec,
+           "write of at most " + bytes_str(payload.hi) +
+               " inside a loop; per-request overhead dominates at this "
+               "size — aggregate or buffer",
+           {"cb_buffer_size", "sieve_buf_size", "striping_unit"});
+    }
+    if (bulk && payload.lo > 0 &&
+        static_cast<std::uint64_t>(payload.lo) >=
+            options_.large_access_bytes) {
+      emit(LintKind::kContiguousLargeAccess, Severity::kInfo, e, rec,
+           "contiguous " + std::string(is_write ? "write" : "read") +
+               " of at least " + bytes_str(payload.lo) +
+               " per rank; access is contiguous-large, so stripe-level "
+               "parallelism dominates — prioritize striping_factor / "
+               "cb_nodes",
+           {"striping_factor", "cb_nodes", "striping_unit"});
+    }
+  }
+
+  /// Diagnostics the cost model alone can see: transfer sites whose
+  /// statically predicted call count has no upper bound, and sites whose
+  /// arguments or control flow carry settings taint.
+  void check_cost_sites() {
+    if (!report_.cost.analyzable) return;
+    for (const SiteCost& site : report_.cost.sites) {
+      if (site.kind != SiteKind::kWrite && site.kind != SiteKind::kRead) {
+        continue;
+      }
+      const StmtRecord& rec = index_.record(site.stmt_id);
+      if (site.in_loop && !site.calls.bounded_above()) {
+        emit(LintKind::kUnboundedLoopIo, Severity::kWarning, *site.site, rec,
+             site.callee +
+                 " repeats without a statically resolvable loop bound; "
+                 "total I/O volume is unpredictable — bound the loop or "
+                 "rely on collective buffering",
+             {"cb_buffer_size", "romio_collective", "cb_nodes"});
+      }
+      if (site.tainted) {
+        emit(LintKind::kSettingsDependentIo, Severity::kInfo, *site.site, rec,
+             site.callee +
+                 " observes tuned settings (argument or control flow), so "
+                 "the op stream changes across configurations; the "
+                 "record/replay evaluation fast path is disabled",
+             {});
+      }
+    }
   }
 
   /// Chunk sizes are declared in elements; the element size comes from
@@ -436,6 +527,7 @@ class Linter {
   ProgramIndex index_;
   std::unordered_map<const Function*, FunctionAnalysis> analyses_;
   std::set<const Function*> loop_resident_;
+  std::unordered_map<const Expr*, const SiteCost*> site_of_;
   LintReport report_;
 };
 
@@ -447,7 +539,11 @@ LintReport lint(const Program& program, const LintOptions& options) {
 
 LintReport lint_source(const std::string& source, const LintOptions& options) {
   const Program program = minic::parse(source);
-  return lint(program, options);
+  LintReport report = lint(program, options);
+  // The parsed AST dies with this scope: drop the per-site Expr pointers
+  // so the report cannot dangle (line/col/callee/intervals remain).
+  for (SiteCost& site : report.cost.sites) site.site = nullptr;
+  return report;
 }
 
 }  // namespace tunio::analysis

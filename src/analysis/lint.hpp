@@ -21,12 +21,24 @@
 //                             statement can read (def-use chains);
 //   contiguous-large-access   informational: large contiguous slab
 //                             transfers — prioritize stripe-level
-//                             parallelism parameters.
+//                             parallelism parameters;
+//   unbounded-loop-io         a transfer site whose statically predicted
+//                             call count has no upper bound (loop bound
+//                             not structurally resolvable) — total I/O
+//                             volume is unpredictable;
+//   settings-dependent-io     informational: a tuned_* value reaches this
+//                             op's arguments or control flow, so the op
+//                             stream changes across configurations and
+//                             the record/replay fast path is disabled.
 //
 // Byte sizes are estimated by constant-folding call arguments; dataset
 // element sizes are recovered through def-use chains (the handle's
-// reaching h5dcreate). Loop context is interprocedural: a function with
-// any call site inside a loop is analyzed as loop-resident.
+// reaching h5dcreate). Where folding fails, the abstract interpreter's
+// per-site payload intervals (analysis/cost_model.hpp) take over:
+// a definite upper bound below the small-write threshold, or a definite
+// lower bound above the large-access threshold, still fires the
+// respective diagnostic. Loop context is interprocedural: a function
+// with any call site inside a loop is analyzed as loop-resident.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/cost_model.hpp"
 #include "minic/ast.hpp"
 
 namespace tunio::analysis {
@@ -46,6 +59,8 @@ enum class LintKind {
   kIndependentIoInLoop,
   kDeadWrite,
   kContiguousLargeAccess,
+  kUnboundedLoopIo,
+  kSettingsDependentIo,
 };
 
 enum class Severity { kInfo, kWarning, kError };
@@ -81,13 +96,19 @@ struct LintOptions {
 
 struct LintReport {
   std::vector<Diagnostic> diagnostics;
+  /// Static I/O cost prediction of the linted program (op counts and
+  /// byte volumes as intervals, per site and per program). Check
+  /// `cost.analyzable` before trusting the intervals.
+  ProgramCost cost;
 
   bool has_errors() const;
   std::size_t count(LintKind kind) const;
 
   /// Aggregated tuning hints: parameter name -> boost weight in (0, 1],
   /// severity-weighted (error 3, warning 2, info 1) and normalized to a
-  /// max of 1. Feed to core::SmartConfigGen::apply_hints.
+  /// max of 1, with the cost model's static-impact pre-ranking folded in
+  /// at one info-severity unit (it corroborates rather than overrules
+  /// the diagnostics). Feed to core::SmartConfigGen::apply_hints.
   std::vector<std::pair<std::string, double>> tuning_hints() const;
 };
 

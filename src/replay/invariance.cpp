@@ -1,16 +1,19 @@
 #include "replay/invariance.hpp"
 
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/cost_model.hpp"
 #include "analysis/slicer.hpp"
+#include "obs/metrics.hpp"
 
 namespace tunio::replay {
 namespace {
 
-/// Builtins that emit trace ops: the slice from these call sites is the
-/// set of statements able to influence the recorded op stream.
+/// Builtins that emit trace ops: a tainted argument or tainted control
+/// at any of these call sites makes the op stream settings-dependent.
 const std::vector<std::string> kOpEmittingPrefixes = {
     "h5", "fprintf_log", "compute", "mpi_barrier"};
 
@@ -42,19 +45,23 @@ void collect_tuned_stmts(const minic::Stmt& stmt, std::set<int>& out) {
   }
 }
 
-}  // namespace
+bool any_tuned_read(const minic::Program& program) {
+  std::set<int> readers;
+  for (const minic::Function& fn : program.functions) {
+    if (fn.body) collect_tuned_stmts(*fn.body, readers);
+  }
+  return !readers.empty();
+}
 
-bool settings_dependent(const minic::Program& program) {
+/// The PR-4 verdict: a tuned_* reader survives the backward slice from
+/// the op-emitting call sites. Failure counts as dependent.
+bool slicer_dependent(const minic::Program& program) {
   try {
     std::set<int> tuned_readers;
     for (const minic::Function& fn : program.functions) {
       if (fn.body) collect_tuned_stmts(*fn.body, tuned_readers);
     }
-    // No tuned_* read anywhere: trivially invariant.
     if (tuned_readers.empty()) return false;
-    // A tuned_* reader matters only if the I/O slice keeps it: kept
-    // statements are exactly those reaching an op-emitting call through
-    // data deps, control ancestors, or live-function returns.
     const analysis::SliceResult slice =
         analysis::slice_io(program, kOpEmittingPrefixes);
     for (const int id : tuned_readers) {
@@ -62,9 +69,75 @@ bool settings_dependent(const minic::Program& program) {
     }
     return false;
   } catch (...) {
-    // Unanalyzable programs fall back to full interpretation.
     return true;
   }
+}
+
+void count(const char* metric) {
+  obs::MetricsRegistry::global().counter(metric).add(1);
+}
+
+}  // namespace
+
+InvarianceReport analyze_invariance(const minic::Program& program) {
+  InvarianceReport report;
+
+  // Fast path: no tuned_* read anywhere — trivially invariant, and both
+  // gates agree, so skip the solvers entirely.
+  if (!any_tuned_read(program)) {
+    report.dependent = false;
+    report.reason = "no tuned_* reads";
+    count("replay.gate.invariant");
+    return report;
+  }
+
+  report.slicer_dependent = slicer_dependent(program);
+
+  const analysis::ProgramCost cost = analysis::predict_cost(program);
+  if (!cost.analyzable) {
+    report.dependent = true;
+    report.unanalyzable = true;
+    report.reason = "static analysis failed: " + cost.failure;
+    count("replay.gate.unanalyzable");
+    count("replay.gate.dependent");
+    return report;
+  }
+
+  const analysis::SiteCost* first_tainted = nullptr;
+  for (const analysis::SiteCost& site : cost.sites) {
+    if (site.tainted) {
+      ++report.tainted_sites;
+      if (first_tainted == nullptr) first_tainted = &site;
+    }
+  }
+
+  if (first_tainted != nullptr) {
+    std::ostringstream reason;
+    reason << "tuned value reaches " << first_tainted->callee << " at line "
+           << first_tainted->line;
+    if (report.tainted_sites > 1) {
+      reason << " (+" << report.tainted_sites - 1 << " more sites)";
+    }
+    report.dependent = true;
+    report.reason = reason.str();
+  } else if (cost.tainted_control_exit) {
+    report.dependent = true;
+    report.reason = "program exit is control-dependent on tuned values";
+  } else {
+    report.dependent = false;
+    report.reason = "tuned reads never reach op-emitting calls";
+  }
+
+  count(report.dependent ? "replay.gate.dependent" : "replay.gate.invariant");
+  if (!report.dependent && report.slicer_dependent) {
+    // Taint admitted a program the def-use slicer would have rejected.
+    count("replay.gate.recovered");
+  }
+  return report;
+}
+
+bool settings_dependent(const minic::Program& program) {
+  return analyze_invariance(program).dependent;
 }
 
 }  // namespace tunio::replay

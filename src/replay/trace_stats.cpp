@@ -1,0 +1,46 @@
+#include "replay/trace_stats.hpp"
+
+#include <vector>
+
+namespace tunio::replay {
+
+AppIoCounts app_io_counts(const OpTrace& trace) {
+  AppIoCounts out;
+  std::vector<std::uint64_t> elem_by_dataset;
+  for (const Op& op : trace.ops) {
+    switch (op.kind) {
+      case OpKind::kFileCtor:
+        ++out.file_opens;
+        break;
+      case OpKind::kDatasetCreate:
+        ++out.dataset_creates;
+        elem_by_dataset.push_back(op.a);
+        break;
+      case OpKind::kDatasetIo: {
+        const std::uint64_t elem =
+            op.id < elem_by_dataset.size() ? elem_by_dataset[op.id] : 0;
+        std::uint64_t bytes = 0;
+        for (std::uint32_t i = 0; i < op.sel_count; ++i) {
+          bytes += trace.sels[op.sel_begin + i].count * elem;
+        }
+        if (op.flag) {
+          ++out.write_ops;
+          out.bytes_written += bytes;
+        } else {
+          ++out.read_ops;
+          out.bytes_read += bytes;
+        }
+        break;
+      }
+      case OpKind::kLogWrite:
+        ++out.write_ops;
+        out.bytes_written += op.a;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tunio::replay

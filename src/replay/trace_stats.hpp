@@ -1,0 +1,32 @@
+// Application-level I/O totals of a recorded OpTrace — the measured side
+// of the static-cost differential oracle (analysis/cost_model.hpp).
+//
+// Counts are *application-level*: one write op per h5dwrite_* call or
+// fprintf_log, bytes as the sum of per-rank selection volumes at the
+// dataset's element size. PFS-level counters (trace::RunCounters) are
+// deliberately not used here — striping and chunking split application
+// requests and add read-modify-write traffic, which a static model of
+// the *program* cannot and should not predict.
+#pragma once
+
+#include <cstdint>
+
+#include "replay/optrace.hpp"
+
+namespace tunio::replay {
+
+struct AppIoCounts {
+  std::uint64_t write_ops = 0;   ///< dataset writes + log writes
+  std::uint64_t read_ops = 0;    ///< dataset reads
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t file_opens = 0;       ///< h5::File constructions
+  std::uint64_t dataset_creates = 0;  ///< h5::File::create_dataset calls
+};
+
+/// Tallies the application-level ops of `trace`. Dataset element sizes
+/// are recovered from the kDatasetCreate ops, which appear in dataset-id
+/// order by construction.
+AppIoCounts app_io_counts(const OpTrace& trace);
+
+}  // namespace tunio::replay

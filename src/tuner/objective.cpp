@@ -65,8 +65,10 @@ namespace {
 /// never on call order, interleaving, or which thread ran the evaluation.
 class ObjectiveBase : public Objective {
  public:
-  ObjectiveBase(TestbedOptions testbed, bool replay_eligible)
-      : testbed_(testbed), replay_eligible_(replay_eligible) {}
+  ObjectiveBase(TestbedOptions testbed, ReplayGate gate)
+      : testbed_(testbed), gate_(std::move(gate)) {}
+
+  ReplayGate replay_gate() const override { return gate_; }
 
   Evaluation evaluate(const cfg::Configuration& config) override {
     const std::shared_ptr<const GenomeInputs> in = genome_inputs(config);
@@ -202,7 +204,7 @@ class ObjectiveBase : public Objective {
   RunOutcome run_via_fast_path(const cfg::StackSettings& settings) {
     Path path = Path::kInterpret;
     std::shared_ptr<const replay::OpTrace> trace;
-    if (replay_eligible_ && testbed_.replay != ReplayMode::kOff) {
+    if (gate_.eligible && testbed_.replay != ReplayMode::kOff) {
       std::lock_guard<std::mutex> lock(mutex_);
       switch (state_) {
         case FastState::kIdle:
@@ -271,7 +273,7 @@ class ObjectiveBase : public Objective {
     return run_interpreted(settings);
   }
 
-  const bool replay_eligible_;
+  const ReplayGate gate_;
   std::mutex mutex_;
   /// Bounds the per-genome inputs cache; overflow just recomputes.
   static constexpr std::size_t kInputsCacheCap = 1u << 16;
@@ -287,26 +289,30 @@ class WorkloadObjective final : public ObjectiveBase {
  public:
   WorkloadObjective(std::shared_ptr<const wl::Workload> workload,
                     TestbedOptions testbed, wl::RunOptions run_options)
-      : ObjectiveBase(testbed, eligible(workload->name())),
+      : ObjectiveBase(testbed, gate(workload->name())),
         workload_(std::move(workload)),
         run_options_(std::move(run_options)) {}
 
   std::string name() const override { return workload_->name(); }
 
   /// A native driver qualifies for the replay fast path when its mini-C
-  /// source is known and the static slicer proves the op stream free of
-  /// tuned_* influence. (Drivers without a registered source — custom
-  /// workloads — conservatively stay on the interpreted path.) The
-  /// recorded trace still comes from the driver itself; the source is
-  /// only the invariance evidence.
-  static bool eligible(const std::string& workload_name) {
+  /// source is known and the settings-taint gate proves the op stream
+  /// free of tuned_* influence. (Drivers without a registered source —
+  /// custom workloads — conservatively stay on the interpreted path.)
+  /// The recorded trace still comes from the driver itself; the source
+  /// is only the invariance evidence.
+  static ReplayGate gate(const std::string& workload_name) {
     const std::optional<std::string> source =
         wl::sources::source_for(workload_name);
-    if (!source) return false;
+    if (!source) {
+      return {false, "no mini-C source registered for " + workload_name};
+    }
     try {
-      return !replay::settings_dependent(minic::parse(*source));
-    } catch (...) {
-      return false;
+      const replay::InvarianceReport report =
+          replay::analyze_invariance(minic::parse(*source));
+      return {!report.dependent, report.reason};
+    } catch (const std::exception& e) {
+      return {false, std::string("source analysis failed: ") + e.what()};
     }
   }
 
@@ -327,11 +333,17 @@ class KernelObjective final : public ObjectiveBase {
  public:
   KernelObjective(const minic::Program& program, TestbedOptions testbed,
                   interp::InterpOptions interp_options)
-      : ObjectiveBase(testbed, !replay::settings_dependent(program)),
+      : ObjectiveBase(testbed, gate(program)),
         program_(minic::clone(program)),
         interp_options_(std::move(interp_options)) {}
 
   std::string name() const override { return "minic-program"; }
+
+  static ReplayGate gate(const minic::Program& program) {
+    const replay::InvarianceReport report =
+        replay::analyze_invariance(program);
+    return {!report.dependent, report.reason};
+  }
 
  protected:
   RunOutcome run_once(mpisim::MpiSim& mpi, pfs::PfsSimulator& fs,

@@ -68,11 +68,29 @@ struct TestbedOptions {
   ReplayMode replay = ReplayMode::kAuto;
 };
 
+/// Verdict of the replay-eligibility gate for one objective: whether the
+/// record/replay fast path may engage, and the gate's justification
+/// (e.g. "no tuned_* reads", "tuned value reaches h5dwrite_all at line
+/// 12", "no mini-C source registered"). Surfaced through
+/// `DriveResult::replay_gate_reason` so a tuning run can explain why it
+/// interpreted every evaluation.
+struct ReplayGate {
+  bool eligible = false;
+  std::string reason;
+};
+
 class Objective {
  public:
   virtual ~Objective() = default;
   virtual std::string name() const = 0;
   virtual Evaluation evaluate(const cfg::Configuration& config) = 0;
+
+  /// The replay-eligibility verdict for this objective. Custom
+  /// objectives default to ineligible: there is no program to prove
+  /// settings-invariant.
+  virtual ReplayGate replay_gate() const {
+    return {false, "custom objective: no static invariance evidence"};
+  }
 
   /// Evaluates a batch of configurations; `results[i]` corresponds to
   /// `configs[i]`. The default implementation is a serial loop over

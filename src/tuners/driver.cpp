@@ -67,6 +67,9 @@ DriveResult drive(Tuner& tuner, tuner::Objective& objective,
   out.result_cache_hits = counter_value("service.cache.hits") - cache_hits0;
   out.result_cache_misses =
       counter_value("service.cache.misses") - cache_misses0;
+  const tuner::ReplayGate gate = objective.replay_gate();
+  out.replay_eligible = gate.eligible;
+  out.replay_gate_reason = gate.reason;
   return out;
 }
 

@@ -93,6 +93,12 @@ struct DriveResult {
   std::uint64_t interpreted_evals = 0;  ///< Δ tuner.eval.interpreted
   std::uint64_t result_cache_hits = 0;  ///< Δ service.cache.hits
   std::uint64_t result_cache_misses = 0;  ///< Δ service.cache.misses
+  /// Whether the objective qualified for the record/replay fast path,
+  /// and the gate's justification either way (e.g. "no tuned_* reads"
+  /// vs "tuned value reaches h5dwrite_all at line 12" or "static
+  /// analysis failed: ..."). Explains `replayed_evals == 0` at a glance.
+  bool replay_eligible = false;
+  std::string replay_gate_reason;
 };
 
 /// Runs `tuner` against `objective` until the backend is done, the

@@ -320,6 +320,96 @@ int main() {
   EXPECT_EQ(result.exit_code, expected);
 }
 
+// --- statement-granular taint gate ----------------------------------------
+
+/// A tuned read that is dead at every op site *by value flow*, but which
+/// the PR-4 slicer keeps (its scope-level rule sees `s` reach the write
+/// without noticing the overwrite kills the tuned value). The taint gate
+/// must recover it for the fast path.
+const char* kTaintRecoverableKernel = R"(
+int main() {
+  int s = tuned_stripe_count();
+  s = 8;
+  int f = h5fcreate("/scratch/recov.h5");
+  int d = h5dcreate(f, "x", 8, 1024 * mpi_size());
+  h5dwrite_all(d, s * 128);
+  h5fclose(f);
+  return 0;
+}
+)";
+
+TEST(TaintGate, RecoversOverwrittenTunedRead) {
+  obs::Counter& recovered =
+      obs::MetricsRegistry::global().counter("replay.gate.recovered");
+  const std::uint64_t before = recovered.value();
+  const replay::InvarianceReport report =
+      replay::analyze_invariance(minic::parse(kTaintRecoverableKernel));
+  EXPECT_FALSE(report.dependent) << report.reason;
+  EXPECT_FALSE(report.unanalyzable);
+  // The def-use slicer rejected this program; taint admitted it.
+  EXPECT_TRUE(report.slicer_dependent);
+  EXPECT_EQ(recovered.value() - before, 1u);
+}
+
+TEST(TaintGate, ReportNamesTheTaintedSite) {
+  const replay::InvarianceReport report =
+      replay::analyze_invariance(minic::parse(kSettingsDependentKernel));
+  EXPECT_TRUE(report.dependent);
+  EXPECT_FALSE(report.unanalyzable);
+  EXPECT_GE(report.tainted_sites, 1);
+  EXPECT_NE(report.reason.find("tuned value reaches"), std::string::npos)
+      << report.reason;
+}
+
+TEST(TaintGate, InvariantProgramReportsWhy) {
+  const replay::InvarianceReport report =
+      replay::analyze_invariance(minic::parse(wl::sources::vpic()));
+  EXPECT_FALSE(report.dependent);
+  EXPECT_FALSE(report.reason.empty());
+}
+
+TEST(TaintGate, UnanalyzableProgramReportsWhy) {
+  // Recursion exceeds the abstract interpreter's soundness envelope: the
+  // gate must fall back to dependent and say so, not silently degrade.
+  const replay::InvarianceReport report =
+      replay::analyze_invariance(minic::parse(R"(
+int f(int n) {
+  if (n > 0) { return f(n - 1); }
+  return 0;
+}
+int main() {
+  int x = f(tuned_cb_nodes());
+  int h = h5fcreate("/scratch/r.h5");
+  h5fclose(h);
+  return x;
+}
+)"));
+  EXPECT_TRUE(report.dependent);
+  EXPECT_TRUE(report.unanalyzable);
+  EXPECT_NE(report.reason.find("static analysis failed"), std::string::npos)
+      << report.reason;
+}
+
+TEST(TaintGate, TaintedControlExitIsDependent) {
+  // No op site is tainted, but an early return under tainted control can
+  // skip later ops — the op *stream* still depends on the settings.
+  const replay::InvarianceReport report =
+      replay::analyze_invariance(minic::parse(R"(
+int main() {
+  int f = h5fcreate("/scratch/e.h5");
+  if (tuned_cb_nodes() > 2) {
+    h5fclose(f);
+    return 1;
+  }
+  int d = h5dcreate(f, "x", 8, 1024);
+  h5dwrite_all(d, 64);
+  h5fclose(f);
+  return 0;
+}
+)"));
+  EXPECT_TRUE(report.dependent);
+}
+
 // --- objective-level fast path --------------------------------------------
 
 /// kVerify re-runs interpretation alongside every replay and throws on
@@ -411,6 +501,46 @@ TEST(ReplayObjective, AutoModeReplaysFromThirdEvaluationOn) {
     objective->evaluate(config);
   }
   EXPECT_EQ(replayed.value() - before, 3u);
+}
+
+TEST(ReplayObjective, TaintRecoveredKernelReplaysBitIdentically) {
+  // The acceptance case for the taint-widened gate: a kernel the PR-4
+  // slicer classified settings-dependent (so it never replayed) is
+  // proven invariant by taint and must now ride the fast path — with
+  // kVerify re-interpreting alongside every replay and throwing on any
+  // bit divergence.
+  const minic::Program program = minic::parse(kTaintRecoverableKernel);
+  ASSERT_FALSE(replay::settings_dependent(program));
+  auto objective = tuner::make_kernel_objective(
+      program, testbed(tuner::ReplayMode::kVerify));
+  EXPECT_TRUE(objective->replay_gate().eligible)
+      << objective->replay_gate().reason;
+  expect_objective_modes_agree(
+      [&](tuner::TestbedOptions tb) {
+        return tuner::make_kernel_objective(program, tb);
+      },
+      5);
+  // And the fast path genuinely engages: kAuto replays from eval 3 on.
+  obs::Counter& replayed =
+      obs::MetricsRegistry::global().counter("tuner.eval.replayed");
+  const std::uint64_t before = replayed.value();
+  auto auto_objective =
+      tuner::make_kernel_objective(program, testbed(tuner::ReplayMode::kAuto));
+  const cfg::ConfigSpace space = cfg::ConfigSpace::tunio12();
+  for (const cfg::Configuration& config : varied_configs(space, 4)) {
+    auto_objective->evaluate(config);
+  }
+  EXPECT_EQ(replayed.value() - before, 2u);
+}
+
+TEST(ReplayObjective, GateReasonExplainsIneligibility) {
+  const minic::Program program = minic::parse(kSettingsDependentKernel);
+  auto objective =
+      tuner::make_kernel_objective(program, testbed(tuner::ReplayMode::kAuto));
+  const tuner::ReplayGate gate = objective->replay_gate();
+  EXPECT_FALSE(gate.eligible);
+  EXPECT_NE(gate.reason.find("tuned value reaches"), std::string::npos)
+      << gate.reason;
 }
 
 TEST(ReplayObjective, ReplayModeOffNeverRecords) {

@@ -349,6 +349,30 @@ TEST(Driver, MaxIterationsCapsTheBackendHorizon) {
   EXPECT_FALSE(run.tuning.early_stopped);
 }
 
+TEST(Driver, SurfacesReplayGateVerdictAndReason) {
+  const cfg::ConfigSpace space = cfg::ConfigSpace::tunio12();
+  DriveOptions drive_options;
+  drive_options.max_iterations = 1;
+  {
+    // Custom objectives carry no invariance evidence: ineligible, with
+    // the default explanation.
+    SyntheticObjective objective;
+    RandomTuner random(space, {});
+    const DriveResult run = drive(random, objective, drive_options);
+    EXPECT_FALSE(run.replay_eligible);
+    EXPECT_FALSE(run.replay_gate_reason.empty());
+  }
+  {
+    // A settings-invariant kernel objective is eligible, and the reason
+    // says why the gate admitted it.
+    auto objective = workload_objective("vpic", 0xAB);
+    RandomTuner random(space, {});
+    const DriveResult run = drive(random, *objective, drive_options);
+    EXPECT_TRUE(run.replay_eligible) << run.replay_gate_reason;
+    EXPECT_FALSE(run.replay_gate_reason.empty());
+  }
+}
+
 TEST(Driver, ReportsInitialPerfFromFirstConfiguration) {
   const cfg::ConfigSpace space = cfg::ConfigSpace::tunio12();
   SyntheticObjective objective;

@@ -1,0 +1,215 @@
+// iolint: the I/O anti-pattern linter CLI.
+//
+// Runs the static analyzer (linter + abstract-interpretation cost model)
+// over mini-C sources. Human-readable by default; `--json` emits one
+// machine-readable document (`tunio.iolint.v1`) with every diagnostic
+// (kind, severity, line, column, hint_params), the aggregated tuning
+// hints, and the static I/O cost prediction (per-program and per-site op
+// counts and byte volumes as intervals).
+//
+// Usage:
+//   iolint [--json] [--pretty] [FILE...]
+//
+// Without FILE arguments all five built-in workload sources are linted.
+// Exit status: 0 clean, 1 any error-severity finding or unreadable /
+// unparsable input (CI gates on this).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/lint.hpp"
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "workloads/sources.hpp"
+
+using namespace tunio;
+
+namespace {
+
+/// [lo, hi] with null for an unbounded endpoint, so consumers never
+/// have to know the int64 sentinels.
+obs::Json interval_json(const analysis::Interval& v) {
+  obs::Json out = obs::Json::array();
+  out.push_back(v.bounded_below()
+                    ? obs::Json::number(static_cast<double>(v.lo))
+                    : obs::Json());
+  out.push_back(v.bounded_above()
+                    ? obs::Json::number(static_cast<double>(v.hi))
+                    : obs::Json());
+  return out;
+}
+
+obs::Json cost_json(const analysis::ProgramCost& cost) {
+  obs::Json out = obs::Json::object();
+  out.set("analyzable", obs::Json::boolean(cost.analyzable));
+  if (!cost.analyzable) {
+    out.set("failure", obs::Json::string(cost.failure));
+    return out;
+  }
+  out.set("write_ops", interval_json(cost.write_ops));
+  out.set("read_ops", interval_json(cost.read_ops));
+  out.set("bytes_written", interval_json(cost.bytes_written));
+  out.set("bytes_read", interval_json(cost.bytes_read));
+  out.set("file_opens", interval_json(cost.file_opens));
+  out.set("dataset_creates", interval_json(cost.dataset_creates));
+  out.set("bounded", obs::Json::boolean(cost.bounded()));
+  out.set("settings_tainted", obs::Json::boolean(cost.any_tainted_site() ||
+                                                 cost.tainted_control_exit));
+  obs::Json sites = obs::Json::array();
+  for (const analysis::SiteCost& site : cost.sites) {
+    obs::Json s = obs::Json::object();
+    s.set("callee", obs::Json::string(site.callee));
+    s.set("kind", obs::Json::string(analysis::site_kind_name(site.kind)));
+    s.set("function", obs::Json::string(site.function));
+    s.set("line", obs::Json::number(site.line));
+    s.set("column", obs::Json::number(site.col));
+    s.set("calls", interval_json(site.calls));
+    s.set("payload_per_call", interval_json(site.payload_per_call));
+    s.set("bytes", interval_json(site.bytes));
+    s.set("tainted", obs::Json::boolean(site.tainted));
+    s.set("in_loop", obs::Json::boolean(site.in_loop));
+    sites.push_back(std::move(s));
+  }
+  out.set("sites", std::move(sites));
+  return out;
+}
+
+obs::Json report_json(const std::string& label,
+                      const analysis::LintReport& report) {
+  obs::Json out = obs::Json::object();
+  out.set("file", obs::Json::string(label));
+  obs::Json diags = obs::Json::array();
+  std::size_t errors = 0;
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (d.severity == analysis::Severity::kError) ++errors;
+    obs::Json diag = obs::Json::object();
+    diag.set("kind", obs::Json::string(analysis::kind_name(d.kind)));
+    diag.set("severity",
+             obs::Json::string(analysis::severity_name(d.severity)));
+    diag.set("line", obs::Json::number(d.line));
+    diag.set("column", obs::Json::number(d.column));
+    diag.set("function", obs::Json::string(d.function));
+    diag.set("message", obs::Json::string(d.message));
+    obs::Json hints = obs::Json::array();
+    for (const std::string& param : d.hint_params) {
+      hints.push_back(obs::Json::string(param));
+    }
+    diag.set("hint_params", std::move(hints));
+    diags.push_back(std::move(diag));
+  }
+  out.set("diagnostics", std::move(diags));
+  out.set("error_count", obs::Json::number(static_cast<double>(errors)));
+  obs::Json hints = obs::Json::array();
+  for (const auto& [param, weight] : report.tuning_hints()) {
+    obs::Json h = obs::Json::object();
+    h.set("param", obs::Json::string(param));
+    h.set("weight", obs::Json::number(weight));
+    hints.push_back(std::move(h));
+  }
+  out.set("tuning_hints", std::move(hints));
+  out.set("static_cost", cost_json(report.cost));
+  return out;
+}
+
+void print_human(const std::string& label,
+                 const analysis::LintReport& report) {
+  std::printf("== %s ==\n", label.c_str());
+  if (report.diagnostics.empty()) {
+    std::printf("  (clean)\n");
+  }
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    std::printf("  %s\n", analysis::format(d).c_str());
+  }
+  const auto hints = report.tuning_hints();
+  if (!hints.empty()) {
+    std::printf("  tuning hints:");
+    for (const auto& [param, weight] : hints) {
+      std::printf(" %s=%.2f", param.c_str(), weight);
+    }
+    std::printf("\n");
+  }
+  if (report.cost.analyzable) {
+    std::printf("  static cost: writes %s ops / %s B, reads %s ops / %s B\n",
+                report.cost.write_ops.str().c_str(),
+                report.cost.bytes_written.str().c_str(),
+                report.cost.read_ops.str().c_str(),
+                report.cost.bytes_read.str().c_str());
+  } else {
+    std::printf("  static cost: unanalyzable (%s)\n",
+                report.cost.failure.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool pretty = false;
+  std::vector<std::pair<std::string, std::string>> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: iolint [--json] [--pretty] [FILE...]\n");
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--pretty") {
+      json = pretty = true;
+      continue;
+    }
+    std::ifstream in(arg);
+    if (!in) {
+      std::fprintf(stderr, "iolint: cannot open %s\n", arg.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    inputs.emplace_back(arg, buffer.str());
+  }
+  if (inputs.empty()) {
+    inputs.emplace_back("macsio_vpic", wl::sources::macsio_vpic());
+    inputs.emplace_back("vpic", wl::sources::vpic());
+    inputs.emplace_back("flash", wl::sources::flash());
+    inputs.emplace_back("hacc", wl::sources::hacc());
+    inputs.emplace_back("bdcats", wl::sources::bdcats());
+  }
+
+  bool failed = false;
+  obs::Json doc = obs::Json::object();
+  doc.set("version", obs::Json::string("tunio.iolint.v1"));
+  obs::Json results = obs::Json::array();
+  for (const auto& [label, source] : inputs) {
+    try {
+      const analysis::LintReport report = analysis::lint_source(source);
+      failed = failed || report.has_errors();
+      if (json) {
+        results.push_back(report_json(label, report));
+      } else {
+        print_human(label, report);
+      }
+    } catch (const std::exception& e) {
+      failed = true;
+      if (json) {
+        obs::Json err = obs::Json::object();
+        err.set("file", obs::Json::string(label));
+        err.set("error", obs::Json::string(e.what()));
+        results.push_back(std::move(err));
+      } else {
+        std::fprintf(stderr, "== %s ==\n  lint failed: %s\n", label.c_str(),
+                     e.what());
+      }
+    }
+  }
+  if (json) {
+    doc.set("inputs", std::move(results));
+    std::printf("%s\n", doc.dump(pretty ? 2 : -1).c_str());
+  }
+  return failed ? 1 : 0;
+}
